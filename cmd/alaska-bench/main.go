@@ -1,0 +1,124 @@
+// Command alaska-bench regenerates the paper's overhead results:
+// Figure 7 (translation + tracking overhead across the 49-benchmark
+// suite) and Figure 8 (the hoisting/tracking ablation on the SPEC subset).
+//
+// Usage:
+//
+//	alaska-bench -figure 7        # per-benchmark overhead + geomeans
+//	alaska-bench -figure 8        # alaska / notracking / nohoisting
+//	alaska-bench -figure 7 -csv   # machine-readable output
+//	alaska-bench -codesize        # Q2: static code growth per benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"alaska/internal/figures"
+	"alaska/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("alaska-bench: ")
+	figure := flag.Int("figure", 7, "figure to regenerate (7 or 8)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	codesize := flag.Bool("codesize", false, "report static code growth (Q2) instead of a figure")
+	flag.Parse()
+
+	switch {
+	case *codesize:
+		runCodeSize(*csv)
+	case *figure == 7:
+		runFigure7(*csv)
+	case *figure == 8:
+		runFigure8(*csv)
+	default:
+		log.Fatalf("unknown figure %d (want 7 or 8)", *figure)
+	}
+}
+
+func runFigure7(csv bool) {
+	res, err := figures.Figure7()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Println("benchmark,suite,baseline_cycles,alaska_cycles,overhead_pct,paper_pct")
+		for _, r := range res {
+			fmt.Printf("%s,%s,%d,%d,%.2f,%.1f\n",
+				r.Name, r.Suite, r.BaselineCycles, r.AlaskaCycles, r.Overhead*100, r.PaperOverhead)
+		}
+		return
+	}
+	var rows [][]string
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Name, r.Suite,
+			fmt.Sprintf("%d", r.BaselineCycles),
+			fmt.Sprintf("%d", r.AlaskaCycles),
+			fmt.Sprintf("%+.1f%%", r.Overhead*100),
+			fmt.Sprintf("%+.1f%%", r.PaperOverhead),
+		})
+	}
+	if err := stats.Table(os.Stdout, []string{"benchmark", "suite", "baseline", "alaska", "overhead", "paper"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngeomean: %+.1f%% (paper: +10%%)   excluding perlbench/gcc: %+.1f%% (paper: +8%%)\n",
+		figures.Geomean(res, false)*100, figures.Geomean(res, true)*100)
+}
+
+func runFigure8(csv bool) {
+	res, err := figures.Figure8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Println("benchmark,alaska_pct,notracking_pct,nohoisting_pct")
+		for _, r := range res {
+			fmt.Printf("%s,%.2f,%.2f,%.2f\n", r.Name, r.Alaska*100, r.NoTracking*100, r.NoHoisting*100)
+		}
+		return
+	}
+	var rows [][]string
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%+.1f%%", r.Alaska*100),
+			fmt.Sprintf("%+.1f%%", r.NoTracking*100),
+			fmt.Sprintf("%+.1f%%", r.NoHoisting*100),
+		})
+	}
+	if err := stats.Table(os.Stdout, []string{"benchmark", "alaska", "notracking", "nohoisting"}, rows); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runCodeSize(csv bool) {
+	rows, gm, err := figures.CodeSize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Println("benchmark,instrs_before,instrs_after,growth")
+		for _, r := range rows {
+			fmt.Printf("%s,%d,%d,%.3f\n", r.Name, r.Before, r.After, r.Growth)
+		}
+		return
+	}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Before),
+			fmt.Sprintf("%d", r.After),
+			fmt.Sprintf("%.2fx", r.Growth),
+		})
+	}
+	if err := stats.Table(os.Stdout, []string{"benchmark", "before", "after", "growth"}, tab); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngeomean growth: %+.1f%% (paper: ~48%% executable growth)\n", gm*100)
+}

@@ -1,0 +1,108 @@
+// Command memcached-bench regenerates Figure 12: request latencies of a
+// multithreaded memcached-style store under YCSB-A while Anchorage
+// relocates ~1 MiB at each stop-the-world pause, swept over pause
+// intervals and thread counts.
+//
+// Usage:
+//
+//	memcached-bench                                 # default sweep
+//	memcached-bench -threads 1,2,4,8,16 -duration 1s
+//	memcached-bench -intervals 100ms,200ms,500ms,1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"alaska/internal/figures"
+	"alaska/internal/stats"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("memcached-bench: ")
+	threadsFlag := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+	intervalsFlag := flag.String("intervals", "100ms,200ms,400ms,600ms,800ms,1s", "comma-separated pause intervals")
+	duration := flag.Duration("duration", time.Second, "measurement duration per cell")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		log.Fatalf("bad -threads: %v", err)
+	}
+	intervals, err := parseDurations(*intervalsFlag)
+	if err != nil {
+		log.Fatalf("bad -intervals: %v", err)
+	}
+
+	res, err := figures.Figure12(threads, intervals, *duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Println("threads,config,interval_ms,ops,avg_latency_us,p99_us,max_pause_ms,pauses")
+		for _, r := range res {
+			kind := "baseline"
+			if r.Alaska {
+				kind = "alaska"
+			}
+			fmt.Printf("%d,%s,%.0f,%d,%.2f,%.2f,%.3f,%d\n",
+				r.Threads, kind, float64(r.Interval)/1e6, r.Ops,
+				float64(r.AvgLatency)/1e3, float64(r.P99)/1e3,
+				float64(r.MaxPause)/1e6, r.Pauses)
+		}
+		return
+	}
+	var rows [][]string
+	for _, r := range res {
+		kind := "baseline"
+		if r.Alaska {
+			kind = fmt.Sprintf("alaska @%v", r.Interval)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Threads),
+			kind,
+			fmt.Sprintf("%d", r.Ops),
+			r.AvgLatency.String(),
+			r.P99.String(),
+			r.MaxPause.String(),
+			fmt.Sprintf("%d", r.Pauses),
+		})
+	}
+	if err := stats.Table(os.Stdout,
+		[]string{"threads", "config", "ops", "avg", "p99", "max_pause", "pauses"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper: ~10% average latency overhead across all configurations, <7% above 500ms intervals,")
+	fmt.Println("       average pauses < 2ms, and no correlation between thread count and pause time.")
+}

@@ -1,0 +1,58 @@
+// Compilerdemo: watch the Alaska compiler transform a pointer program.
+// It builds the paper's two contrasting cases in IR — a dense grid loop
+// (translation hoists to the outermost preheader, §4.1.2) and a linked-
+// list walk (every hop loads a fresh pointer, nothing hoists) — prints the
+// transformed IR, and compares the measured cycle overheads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alaska/internal/ir"
+	"alaska/internal/workloads"
+	"alaska/pkg/alaska"
+)
+
+func demo(name string, build func() *ir.Module) {
+	fmt.Printf("=== %s ===\n", name)
+	baseMod := build()
+	baseV, baseCycles, err := alaska.RunBaseline(baseMod, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mod := build()
+	st, err := alaska.Compile(mod, alaska.DefaultCompileOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, cycles, err := alaska.RunAlaska(mod, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v != baseV {
+		log.Fatalf("%s: transformation changed the result: %d vs %d", name, v, baseV)
+	}
+	fmt.Printf("translations inserted: %d (hoisted: %d)   pin set: %d slots   safepoints: %d\n",
+		st.Translates, st.Hoisted, st.MaxPinSetSize, st.Safepoints)
+	fmt.Printf("cycles: baseline %d, alaska %d  ->  overhead %+.1f%%\n",
+		baseCycles, cycles, float64(cycles-baseCycles)/float64(baseCycles)*100)
+	fmt.Println("\ntransformed main:")
+	fmt.Print(mod.Funcs[0].String())
+	fmt.Println()
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("the same compiler pipeline the paper applies to LLVM IR, on two access patterns:")
+	fmt.Println()
+	demo("dense grid (hoistable, like 619.lbm)", func() *ir.Module {
+		return workloads.BuildGrid(64, 4, 2)
+	})
+	demo("linked-list walk (pointer chasing, like sglib)", func() *ir.Module {
+		return workloads.BuildListTraversal(32, 4, 2)
+	})
+	fmt.Println("note how the grid's translate sits in a preheader while the list translates inside the loop —")
+	fmt.Println("that placement difference is the entire story of the paper's Figure 7.")
+}

@@ -1,0 +1,87 @@
+// Faults example: the §7 extension. Cold objects are swapped out to a
+// compressed in-memory "disk" — their handle table entries marked invalid
+// and their backing memory freed. The next access faults through the
+// handle table and the runtime transparently swaps the object back in,
+// exactly as a kernel would service a page fault, but at object
+// granularity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alaska/internal/anchorage"
+	"alaska/internal/swap"
+	"alaska/pkg/alaska"
+)
+
+func main() {
+	log.SetFlags(0)
+	store := swap.NewMemStore(true) // DEFLATE-compressed cold storage
+	sys, err := alaska.NewSystem(
+		alaska.WithAnchorage(anchorage.DefaultConfig()),
+		alaska.WithSwapping(store),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	th := sys.NewThread()
+	defer th.Destroy()
+
+	// A working set of 4 KiB objects filled with compressible data.
+	const n = 256
+	var hs []alaska.Handle
+	for i := 0; i < n; i++ {
+		h, err := sys.Halloc(4096)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr, unpin, err := th.Pin(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		for k := range buf {
+			buf[k] = byte(i) // highly compressible
+		}
+		if err := sys.Space().Write(addr, buf); err != nil {
+			log.Fatal(err)
+		}
+		unpin()
+		hs = append(hs, h)
+	}
+	fmt.Printf("working set: %d objects, %.1f KB active, RSS %.1f KB\n",
+		n, float64(sys.ActiveBytes())/1024, float64(sys.RSS())/1024)
+
+	// Swap out the cold 75%: their memory is freed; only the compressed
+	// blobs remain.
+	sys.Barrier(th, func(scope *alaska.BarrierScope) {
+		for _, h := range hs[:n*3/4] {
+			if err := sys.Swapper().SwapOut(scope, h.ID()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	if _, err := sys.Defrag(th); err != nil { // compact what remains
+		log.Fatal(err)
+	}
+	fmt.Printf("after swapping out 75%%: active %.1f KB, RSS %.1f KB, disk %.1f KB (compressed)\n",
+		float64(sys.ActiveBytes())/1024, float64(sys.RSS())/1024, float64(store.Bytes())/1024)
+
+	// Touch a swapped object: the translation faults, the handler swaps
+	// it back in, and the access proceeds — the program never knows.
+	victim := hs[10]
+	addr, unpin, err := th.Pin(victim) // faults here
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := sys.Space().ReadU8(addr)
+	unpin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faulting access to object 10 returned byte %d (want 10): transparent swap-in\n", v)
+	fmt.Printf("runtime handled %d handle faults; swapper: %d out, %d in\n",
+		sys.Runtime().Stats().Faults.Load(), sys.Swapper().SwappedOut, sys.Swapper().SwappedIn)
+}

@@ -1,0 +1,75 @@
+// Locality example: the second §7 extension. A linked structure whose
+// traversal order is scattered across the heap gets repacked — via nothing
+// but handle relocation — so the traversal becomes sequential in memory.
+// The paper's point: once objects can move, locality optimization is a
+// small service, not a research system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"alaska/internal/anchorage"
+	"alaska/internal/locality"
+	"alaska/internal/rt"
+	"alaska/pkg/alaska"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := alaska.NewSystem(alaska.WithAnchorage(anchorage.DefaultConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	th := sys.NewThread()
+	defer th.Destroy()
+
+	// A 1024-node structure allocated in one order...
+	const n = 1024
+	handles := make([]alaska.Handle, n)
+	for i := range handles {
+		h, err := sys.Halloc(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles[i] = h
+	}
+	// ...but traversed in a completely different (shuffled) order, the
+	// way a hash-table iteration or an aged LRU list would be.
+	rng := rand.New(rand.NewSource(1))
+	order := make([]uint32, n)
+	for i, k := range rng.Perm(n) {
+		order[i] = handles[k].ID()
+	}
+
+	before, err := locality.PageSwitches(sys.Runtime(), order)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traversal before clustering: %d page switches over %d accesses\n", before, n)
+
+	// Record the traversal, then let the optimizer repack it.
+	tracker := locality.NewTracker(0)
+	for _, id := range order {
+		tracker.Touch(id)
+	}
+	opt, err := locality.NewOptimizer(sys.Runtime(), tracker, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var moved int
+	sys.Barrier(th, func(scope *rt.BarrierScope) {
+		moved = opt.Optimize(scope)
+	})
+	after, err := locality.PageSwitches(sys.Runtime(), order)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimizer relocated %d objects (one HTE store each)\n", moved)
+	fmt.Printf("traversal after clustering:  %d page switches (%.0fx better)\n",
+		after, float64(before)/float64(after))
+	fmt.Println("\nno application pointer changed: every reference is a handle, so the")
+	fmt.Println("layout change was invisible — the §7 locality service in ~150 lines.")
+}

@@ -1,0 +1,477 @@
+// Package anchorage implements the Anchorage service of §4.3: a
+// deliberately simple, movement-first heap allocator plus the control
+// algorithm that decides when and how aggressively to defragment.
+//
+// The allocator is a naïve bump allocator over fixed-size sub-heaps:
+// allocations take exactly their (16-byte aligned) size from the bump
+// pointer, and freed blocks are recycled through power-of-two-binned free
+// lists where only the front of a bin is ever examined (O(1)). It has none
+// of the anti-fragmentation machinery of modern allocators — it does not
+// need any, because it can move objects: during a runtime barrier it
+// copies unpinned objects from the top of a source sub-heap into holes
+// lower in the heap, updates each object's HTE (one store), and returns
+// the vacated pages to the kernel with the simulated MADV_DONTNEED.
+package anchorage
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"alaska/internal/mem"
+	"alaska/internal/rt"
+)
+
+// Config parameterizes the allocator and control algorithm.
+type Config struct {
+	// SubHeapSize is the extent of each sub-heap in bytes.
+	SubHeapSize uint64
+	// FragLow and FragHigh are the paper's [F_lb, F_ub] fragmentation
+	// bounds (extent / active).
+	FragLow, FragHigh float64
+	// OverheadHigh is O_ub: the ceiling on the fraction of time spent
+	// defragmenting; after a pass taking T_defrag, the controller sleeps
+	// T_defrag/O_ub. OverheadLow (O_lb) bounds hysteresis on re-entry.
+	OverheadLow, OverheadHigh float64
+	// Alpha caps the fraction of the heap extent moved in a single pass.
+	Alpha float64
+	// WakeInterval is the waiting-state poll period (paper: 500 ms).
+	WakeInterval time.Duration
+	// MoveBandwidth converts bytes moved into simulated pause time
+	// (bytes per second).
+	MoveBandwidth float64
+}
+
+// DefaultConfig mirrors the paper's description: 500 ms polling, moderate
+// bounds, and a copy bandwidth in the single-digit GiB/s range.
+func DefaultConfig() Config {
+	return Config{
+		SubHeapSize:   2 << 20,
+		FragLow:       1.2,
+		FragHigh:      1.5,
+		OverheadLow:   0.01,
+		OverheadHigh:  0.05,
+		Alpha:         0.25,
+		WakeInterval:  500 * time.Millisecond,
+		MoveBandwidth: 4 << 30,
+	}
+}
+
+const alignment = 16
+
+// alignUp rounds size to the allocator's alignment (minimum one unit).
+func alignUp(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	return (size + alignment - 1) &^ (alignment - 1)
+}
+
+// bin returns the free-list bin for a block of the given size: bin k holds
+// blocks with size in [2^k, 2^(k+1)).
+func bin(size uint64) int { return bits.Len64(size) - 1 }
+
+// hole is a free block within a sub-heap.
+type hole struct {
+	off  uint64
+	size uint64
+}
+
+// objInfo records where a live object currently sits.
+type objInfo struct {
+	id    uint32
+	heap  int    // sub-heap index
+	off   uint64 // offset within the sub-heap
+	size  uint64 // requested size
+	block uint64 // block (aligned/assigned) size
+}
+
+// subHeap is one bump-allocated extent.
+type subHeap struct {
+	region *mem.Region
+	bump   uint64
+	// free[k] holds holes of bin k; only the front is checked on the
+	// allocation fast path (O(1) policy).
+	free [64][]hole
+	// objs maps offsets to live objects (for compaction scans).
+	objs map[uint64]*objInfo
+	live uint64 // live requested bytes
+}
+
+// takeFront pops the front hole of binIdx if it fits need, returning the
+// whole block (the naïve allocator neither splits nor searches deeper —
+// §4.3: "only the front of the list is checked"). The slack between the
+// block and the request is internal waste that only compaction recovers.
+func (sh *subHeap) takeFront(binIdx int, need uint64) (hole, bool) {
+	lst := sh.free[binIdx]
+	if len(lst) == 0 {
+		return hole{}, false
+	}
+	h := lst[0]
+	if h.size < need {
+		return hole{}, false
+	}
+	sh.free[binIdx] = lst[1:]
+	return h, true
+}
+
+// pushHole returns a hole to its bin.
+func (sh *subHeap) pushHole(h hole) {
+	b := bin(h.size)
+	sh.free[b] = append(sh.free[b], h)
+}
+
+// Service is the Anchorage service.
+type Service struct {
+	mu    sync.Mutex
+	cfg   Config
+	rt    *rt.Runtime
+	space *mem.Space
+	heaps []*subHeap
+	byID  map[uint32]*objInfo
+
+	active uint64
+	// Stats.
+	Passes     int64
+	MovedBytes int64
+	Truncated  int64 // bytes returned via DontNeed
+	// ShrunkBytes counts internal waste recovered by in-place shrinking.
+	ShrunkBytes int64
+}
+
+var _ rt.Service = (*Service)(nil)
+
+// NewService creates an Anchorage service on space.
+func NewService(space *mem.Space, cfg Config) *Service {
+	if cfg.SubHeapSize == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Service{cfg: cfg, space: space, byID: make(map[uint32]*objInfo)}
+}
+
+// Init implements rt.Service.
+func (s *Service) Init(r *rt.Runtime) error {
+	s.rt = r
+	return nil
+}
+
+// Deinit implements rt.Service.
+func (s *Service) Deinit() error { return nil }
+
+// Name implements rt.Service.
+func (s *Service) Name() string { return "anchorage" }
+
+// newSubHeap maps a fresh sub-heap.
+func (s *Service) newSubHeap(minSize uint64) (*subHeap, error) {
+	size := s.cfg.SubHeapSize
+	if minSize > size {
+		size = minSize // oversized objects get a dedicated sub-heap
+	}
+	r, err := s.space.Map(size)
+	if err != nil {
+		return nil, err
+	}
+	sh := &subHeap{region: r, objs: make(map[uint64]*objInfo)}
+	s.heaps = append(s.heaps, sh)
+	return sh, nil
+}
+
+// allocBlock finds a block of at least `need` bytes: free-list fronts
+// first (the bin that guarantees a fit, then the bin of need itself whose
+// front might fit), then bump space, then a new sub-heap. The returned
+// hole may be larger than need (no splitting on the fast path).
+func (s *Service) allocBlock(need uint64) (int, hole, error) {
+	guarantee := bin(need)
+	if need&(need-1) != 0 {
+		guarantee++
+	}
+	for hi, sh := range s.heaps {
+		if h, ok := sh.takeFront(guarantee, need); ok {
+			return hi, h, nil
+		}
+		if guarantee != bin(need) {
+			if h, ok := sh.takeFront(bin(need), need); ok {
+				return hi, h, nil
+			}
+		}
+	}
+	for hi, sh := range s.heaps {
+		if sh.bump+need <= sh.region.Size() {
+			off := sh.bump
+			sh.bump += need
+			return hi, hole{off: off, size: need}, nil
+		}
+	}
+	sh, err := s.newSubHeap(need)
+	if err != nil {
+		return 0, hole{}, err
+	}
+	sh.bump = need
+	return len(s.heaps) - 1, hole{off: 0, size: need}, nil
+}
+
+// Alloc implements rt.Service.
+func (s *Service) Alloc(id uint32, size uint64) (mem.Addr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	need := alignUp(size)
+	hi, h, err := s.allocBlock(need)
+	if err != nil {
+		return 0, err
+	}
+	info := &objInfo{id: id, heap: hi, off: h.off, size: size, block: h.size}
+	s.heaps[hi].objs[h.off] = info
+	s.heaps[hi].live += size
+	s.byID[id] = info
+	s.active += size
+	return s.heaps[hi].region.Base() + mem.Addr(h.off), nil
+}
+
+// Free implements rt.Service.
+func (s *Service) Free(id uint32, _ mem.Addr, _ uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := s.byID[id]
+	if info == nil {
+		return fmt.Errorf("anchorage: free of unknown handle %d", id)
+	}
+	sh := s.heaps[info.heap]
+	delete(sh.objs, info.off)
+	delete(s.byID, id)
+	sh.live -= info.size
+	s.active -= info.size
+	sh.pushHole(hole{off: info.off, size: info.block})
+	return nil
+}
+
+// UsableSize implements rt.Service.
+func (s *Service) UsableSize(addr mem.Addr) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.heaps {
+		if sh.region.Contains(addr) {
+			if info, ok := sh.objs[uint64(addr-sh.region.Base())]; ok {
+				return info.block
+			}
+		}
+	}
+	return 0
+}
+
+// HeapExtent implements rt.Service: the summed bump extents — the
+// numerator of the O(1) fragmentation metric.
+func (s *Service) HeapExtent() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.extentLocked()
+}
+
+func (s *Service) extentLocked() uint64 {
+	var e uint64
+	for _, sh := range s.heaps {
+		e += sh.bump
+	}
+	return e
+}
+
+// ActiveBytes implements rt.Service.
+func (s *Service) ActiveBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Fragmentation returns extent/active (1 when empty).
+func (s *Service) Fragmentation() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == 0 {
+		return 1
+	}
+	return float64(s.extentLocked()) / float64(s.active)
+}
+
+// allocBlockForMove finds a destination for relocating an object of size
+// need that currently sits at (srcHeap, srcOff): holes or bump space in
+// lower sub-heaps, else a strictly-lower hole in the source sub-heap.
+// Unlike allocBlock it may search whole bins (it runs inside a barrier,
+// where thoroughness beats O(1)) and never maps a new sub-heap.
+func (s *Service) allocBlockForMove(need uint64, srcHeap int, srcOff uint64) (int, uint64, bool) {
+	for hi := 0; hi < srcHeap; hi++ {
+		sh := s.heaps[hi]
+		for b := bin(need); b < len(sh.free); b++ {
+			for k, h := range sh.free[b] {
+				if h.size >= need {
+					sh.free[b] = append(sh.free[b][:k], sh.free[b][k+1:]...)
+					if rem := h.size - need; rem >= alignment {
+						sh.pushHole(hole{off: h.off + need, size: rem})
+					}
+					return hi, h.off, true
+				}
+			}
+		}
+		if sh.bump+need <= sh.region.Size() {
+			off := sh.bump
+			sh.bump += need
+			return hi, off, true
+		}
+	}
+	// Intra-heap: only a hole strictly below the object helps compaction.
+	src := s.heaps[srcHeap]
+	for b := bin(need); b < len(src.free); b++ {
+		for k, h := range src.free[b] {
+			if h.size >= need && h.off+need <= srcOff {
+				src.free[b] = append(src.free[b][:k], src.free[b][k+1:]...)
+				if rem := h.size - need; rem >= alignment {
+					src.pushHole(hole{off: h.off + need, size: rem})
+				}
+				return srcHeap, h.off, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// coalesce merges adjacent holes in a sub-heap so compaction can place
+// objects larger than any single fragment. It runs only inside barriers
+// (the world is stopped, so O(holes log holes) is acceptable there).
+func (sh *subHeap) coalesce() {
+	var all []hole
+	for b := range sh.free {
+		all = append(all, sh.free[b]...)
+		sh.free[b] = sh.free[b][:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].off < all[j].off })
+	cur := all[0]
+	for _, h := range all[1:] {
+		if cur.off+cur.size == h.off {
+			cur.size += h.size
+			continue
+		}
+		sh.pushHole(cur)
+		cur = h
+	}
+	sh.pushHole(cur)
+}
+
+// DefragPass moves up to budget bytes of unpinned objects out of the
+// topmost occupied sub-heaps into lower holes, truncates vacated tails,
+// and returns the pages with DontNeed. Must be called inside a barrier.
+// It returns the number of bytes moved.
+func (s *Service) DefragPass(scope *rt.BarrierScope, budget uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Passes++
+	// First recover internal waste: the naïve fast path hands out whole
+	// free blocks, so a 64-byte object may own a 1 KiB block. With the
+	// world stopped the service can shrink every block to its aligned
+	// request size in place (no copy, no reference update — the object
+	// does not move) and return the slack to the free lists.
+	for _, sh := range s.heaps {
+		for _, info := range sh.objs {
+			need := alignUp(info.size)
+			if info.block > need {
+				sh.pushHole(hole{off: info.off + need, size: info.block - need})
+				s.ShrunkBytes += int64(info.block - need)
+				info.block = need
+			}
+		}
+		sh.coalesce()
+	}
+	var moved uint64
+	// Work from the top sub-heap downward.
+	for hi := len(s.heaps) - 1; hi >= 0 && moved < budget; hi-- {
+		src := s.heaps[hi]
+		if len(src.objs) == 0 {
+			s.truncate(src)
+			continue
+		}
+		// Objects sorted by offset descending: vacate the top first.
+		offs := make([]uint64, 0, len(src.objs))
+		for off := range src.objs {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] > offs[j] })
+		for _, off := range offs {
+			if moved >= budget {
+				break
+			}
+			info := src.objs[off]
+			if scope.Pinned(info.id) {
+				continue
+			}
+			dhi, doff, ok := s.allocBlockForMove(info.block, hi, off)
+			if !ok {
+				continue // no better placement exists; leave the object
+			}
+			dst := s.heaps[dhi].region.Base() + mem.Addr(doff)
+			if err := scope.Relocate(info.id, dst); err != nil {
+				s.heaps[dhi].pushHole(hole{off: doff, size: info.block})
+				continue
+			}
+			delete(src.objs, off)
+			src.live -= info.size
+			// The vacated slot becomes a hole; truncate drops it again if
+			// it ends up above the new bump.
+			src.pushHole(hole{off: off, size: info.block})
+			info.heap, info.off = dhi, doff
+			s.heaps[dhi].objs[doff] = info
+			s.heaps[dhi].live += info.size
+			moved += info.size
+		}
+		s.truncate(src)
+	}
+	s.MovedBytes += int64(moved)
+	return moved
+}
+
+// truncate shrinks a sub-heap's bump to the end of its highest live
+// object, drops now-dead holes above the new bump (trimming holes that
+// straddle it), and returns the vacated whole pages to the kernel.
+func (s *Service) truncate(sh *subHeap) {
+	var high uint64
+	for off, info := range sh.objs {
+		if end := off + info.block; end > high {
+			high = end
+		}
+	}
+	if high >= sh.bump {
+		return
+	}
+	old := sh.bump
+	sh.bump = high
+	var keep []hole
+	for b := range sh.free {
+		for _, h := range sh.free[b] {
+			switch {
+			case h.off >= high:
+				// entirely above the new bump: gone
+			case h.off+h.size > high:
+				keep = append(keep, hole{off: h.off, size: high - h.off})
+			default:
+				keep = append(keep, h)
+			}
+		}
+		sh.free[b] = sh.free[b][:0]
+	}
+	for _, h := range keep {
+		sh.pushHole(h)
+	}
+	start := sh.region.Base() + mem.Addr(high)
+	n := old - high
+	if err := s.space.DontNeed(start, n); err == nil {
+		s.Truncated += int64(n)
+	}
+}
+
+// NumSubHeaps reports how many sub-heaps exist (diagnostics).
+func (s *Service) NumSubHeaps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heaps)
+}

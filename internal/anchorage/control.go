@@ -1,0 +1,103 @@
+package anchorage
+
+import (
+	"time"
+
+	"alaska/internal/rt"
+)
+
+// ControllerState is the control algorithm's state (§4.3).
+type ControllerState int
+
+const (
+	// Waiting: wake every WakeInterval and compare fragmentation to F_ub.
+	Waiting ControllerState = iota
+	// Defragmenting: run α-bounded partial passes, sleeping
+	// T_defrag/O_ub between them to cap the time fraction spent moving.
+	Defragmenting
+)
+
+// Controller is the §4.3 control state machine. It is driven by an
+// explicit clock (Step) so the RSS-over-time experiments can run on
+// simulated time; the memcached experiment drives passes directly on a
+// wall-clock ticker instead.
+type Controller struct {
+	svc *Service
+	cfg Config
+
+	state    ControllerState
+	nextWake time.Duration
+
+	// PauseTotal accumulates simulated stop-the-world time.
+	PauseTotal time.Duration
+	// Transitions counts waiting<->defragmenting flips (diagnostics).
+	Transitions int64
+}
+
+// NewController returns a controller for svc using svc's configuration.
+func NewController(svc *Service) *Controller {
+	return &Controller{svc: svc, cfg: svc.cfg}
+}
+
+// State returns the current controller state.
+func (c *Controller) State() ControllerState { return c.state }
+
+// Step advances the controller to simulated time now. If the controller
+// decides to defragment, it runs a barrier on rt (with the given initiator
+// thread, which may be nil for a detached control context) and returns the
+// simulated pause duration; otherwise it returns zero.
+func (c *Controller) Step(now time.Duration, r *rt.Runtime, initiator *rt.Thread) time.Duration {
+	if now < c.nextWake {
+		return 0
+	}
+	switch c.state {
+	case Waiting:
+		if c.svc.Fragmentation() > c.cfg.FragHigh {
+			c.state = Defragmenting
+			c.Transitions++
+			return c.defragOnce(now, r, initiator)
+		}
+		c.nextWake = now + c.cfg.WakeInterval
+		return 0
+	case Defragmenting:
+		return c.defragOnce(now, r, initiator)
+	}
+	return 0
+}
+
+// defragOnce runs one α-bounded partial pass and schedules the next wake
+// per the overhead bound: sleep T_defrag / O_ub.
+func (c *Controller) defragOnce(now time.Duration, r *rt.Runtime, initiator *rt.Thread) time.Duration {
+	budget := uint64(c.cfg.Alpha * float64(c.svc.HeapExtent()))
+	if budget == 0 {
+		budget = 1 << 20
+	}
+	var moved uint64
+	r.Barrier(initiator, func(scope *rt.BarrierScope) {
+		moved = c.svc.DefragPass(scope, budget)
+	})
+	tDefrag := time.Duration(float64(moved) / c.cfg.MoveBandwidth * float64(time.Second))
+	// Even a pass that moves nothing costs a minimum pause for the
+	// stop-the-world rendezvous and the scan.
+	const minPause = 100 * time.Microsecond
+	if tDefrag < minPause {
+		tDefrag = minPause
+	}
+	c.PauseTotal += tDefrag
+
+	frag := c.svc.Fragmentation()
+	if moved == 0 || frag < c.cfg.FragLow {
+		// Goal reached or out of opportunities: back to waiting.
+		c.state = Waiting
+		c.Transitions++
+		c.nextWake = now + c.cfg.WakeInterval
+		return tDefrag
+	}
+	// Cap the defrag duty cycle at O_ub.
+	sleep := time.Duration(float64(tDefrag) / c.cfg.OverheadHigh)
+	if sleep < c.cfg.WakeInterval/8 {
+		sleep = c.cfg.WakeInterval / 8
+	}
+	c.nextWake = now + sleep
+	return tDefrag
+}

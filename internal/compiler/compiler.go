@@ -1,0 +1,387 @@
+// Package compiler implements the Alaska compiler passes (§4.1 of the
+// paper): allocation replacement, translation insertion with loop hoisting
+// (Algorithm 1), release insertion from liveness, pin-slot assignment by
+// interference-graph colouring, safepoint insertion, and escape handling
+// for external calls.
+//
+// The passes operate on the ir package's CFG form and produce a program
+// the vm package executes against the Alaska runtime. The two compiler
+// options the paper ablates in Figure 8 are exposed directly: Hoisting
+// (the loop-invariant translation motion of §4.1.2 — disabled for
+// programs that violate strict aliasing, like perlbench and gcc) and
+// Tracking (pin sets + safepoints, §4.1.3).
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"alaska/internal/ir"
+)
+
+// Options configure the transformation.
+type Options struct {
+	// Hoisting enables lifting translations out of loops when the base
+	// pointer is loop-invariant. Disabling it models -fno-strict-aliasing
+	// (each access translates individually).
+	Hoisting bool
+	// Tracking enables pin-set tracking and safepoint polls. Disabling it
+	// is the paper's "notracking" ablation.
+	Tracking bool
+}
+
+// DefaultOptions is the full Alaska configuration.
+var DefaultOptions = Options{Hoisting: true, Tracking: true}
+
+// Stats reports what the transformation did; the code-size numbers feed
+// the paper's Q2 (executable growth) discussion.
+type Stats struct {
+	InstrsBefore    int
+	InstrsAfter     int
+	AllocsReplaced  int
+	Translates      int // translations inserted
+	Hoisted         int // of which placed in loop preheaders
+	ReleasesPlaced  int
+	Safepoints      int
+	EscapesPinned   int
+	PinSlotsTotal   int // sum of per-function pin-set sizes
+	MaxPinSetSize   int
+	FuncsProcessed  int
+	ReusedDominated int // accesses served by an already-dominating translation
+}
+
+// CodeGrowth returns the static code-size growth factor.
+func (s Stats) CodeGrowth() float64 {
+	if s.InstrsBefore == 0 {
+		return 1
+	}
+	return float64(s.InstrsAfter) / float64(s.InstrsBefore)
+}
+
+// Transform applies the Alaska pipeline to the module in place and returns
+// statistics. The module must verify before and will verify after.
+func Transform(m *ir.Module, opt Options) (Stats, error) {
+	var st Stats
+	if err := m.Verify(); err != nil {
+		return st, fmt.Errorf("compiler: input module invalid: %w", err)
+	}
+	st.InstrsBefore = m.NumInstrs()
+	for _, f := range m.Funcs {
+		st.FuncsProcessed++
+		replaceAllocations(f, &st)
+		if err := escapeHandling(m, f, &st); err != nil {
+			return st, err
+		}
+		if err := insertTranslations(f, opt, &st); err != nil {
+			return st, err
+		}
+		insertReleases(f, &st)
+		if opt.Tracking {
+			assignPinSlots(f, &st)
+			insertSafepoints(m, f, &st)
+		}
+		removeReleases(f)
+	}
+	st.InstrsAfter = m.NumInstrs()
+	if err := m.Verify(); err != nil {
+		return st, fmt.Errorf("compiler: output module invalid: %w", err)
+	}
+	return st, nil
+}
+
+// replaceAllocations converts malloc/free to their handle counterparts
+// (§4.1.1). In this IR the conversion is a mode bit on the instruction
+// (Sub=1 means halloc/hfree) that the VM dispatches on.
+func replaceAllocations(f *ir.Func, st *Stats) {
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if (i.Op == ir.OpAlloc || i.Op == ir.OpFree) && i.Sub == 0 {
+				i.Sub = 1
+				if i.Op == ir.OpAlloc {
+					st.AllocsReplaced++
+				}
+			}
+		}
+	}
+}
+
+// isRoot reports whether v originates pointer-ness: it produces a value
+// that may be a handle and is not derived from another pointer by a
+// transient operation. These are the roots of the paper's pointer-flow
+// graph trees — each gets its own translation.
+//
+// Phi nodes over pointers are roots: a loaded or merged pointer may be a
+// different handle on every arrival, which is exactly why pointer-chasing
+// code cannot be hoisted (§5.4).
+func isRoot(v *ir.Instr) bool {
+	switch v.Op {
+	case ir.OpAlloc:
+		return true
+	case ir.OpLoad, ir.OpParam, ir.OpCall, ir.OpPhi:
+		return v.Ty == ir.Ptr
+	}
+	return false
+}
+
+// rootOf walks the address operand back through GEPs (the only transient
+// op whose result we rewrite) to the pointer-flow root.
+func rootOf(v *ir.Instr) *ir.Instr {
+	for v.Op == ir.OpGEP {
+		v = v.Args[0]
+	}
+	return v
+}
+
+// addressOnly reports whether every transitive use of the GEP g is a
+// memory-access address (or another address-only GEP). Only such chains
+// may be rebased onto a translated (raw) pointer; a GEP whose value
+// escapes into a phi, store value, or call must keep handle arithmetic.
+func addressOnly(g *ir.Instr, f *ir.Func) bool {
+	users := collectUsers(f)
+	var check func(v *ir.Instr) bool
+	check = func(v *ir.Instr) bool {
+		for _, u := range users[v] {
+			switch u.Op {
+			case ir.OpLoad:
+				// address position only (Args[0]); loads have one arg.
+			case ir.OpStore:
+				if u.Args[0] != v {
+					return false // stored as a value
+				}
+			case ir.OpGEP:
+				if u.Args[0] != v || !check(u) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return check(g)
+}
+
+// collectUsers builds the def-use map for a function.
+func collectUsers(f *ir.Func) map[*ir.Instr][]*ir.Instr {
+	users := make(map[*ir.Instr][]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			for _, a := range i.Args {
+				users[a] = append(users[a], i)
+			}
+		}
+	}
+	return users
+}
+
+// insertTranslations is the reproduction of Algorithm 1. For every memory
+// access whose address derives from a handle root, it guarantees a
+// dominating translate of that root, hoisted to the preheader of the
+// outermost loop that contains the access but not the root's definition
+// (FindNestingLoop), and rebases the access's address computation onto the
+// translated pointer.
+func insertTranslations(f *ir.Func, opt Options, st *Stats) error {
+	lf, dt := ir.BuildLoopForest(f)
+
+	// Gather memory accesses in dominator-tree preorder so translations
+	// inserted for earlier accesses can be reused by dominated ones.
+	type access struct {
+		instr *ir.Instr // OpLoad or OpStore
+		root  *ir.Instr
+	}
+	var accesses []access
+	order := domPreorder(f, dt)
+	for _, b := range order {
+		for _, i := range b.Instrs {
+			switch i.Op {
+			case ir.OpLoad, ir.OpStore:
+				r := rootOf(i.Args[0])
+				if isRoot(r) {
+					accesses = append(accesses, access{i, r})
+				}
+			}
+		}
+	}
+
+	// Per-root list of inserted translations, for dominance reuse.
+	translations := make(map[*ir.Instr][]*ir.Instr)
+	// GEP rebasing: a GEP chain is rewritten at most once.
+	rebasedGEP := make(map[*ir.Instr]bool)
+
+	// insertPrivate translates the full (handle-valued) address right
+	// before the access — the per-access fallback, and the only mode when
+	// hoisting is disabled ("translating handles before each load and
+	// store", §5.2).
+	insertPrivate := func(a access) {
+		priv := newTranslate(f, a.instr.Args[0])
+		a.instr.Block.InsertBefore(priv, a.instr)
+		a.instr.Args[0] = priv
+		st.Translates++
+	}
+
+	// getTranslation returns a translation of root that dominates `need`,
+	// inserting one if no existing translation qualifies.
+	getTranslation := func(a access, need *ir.Instr) *ir.Instr {
+		for _, cand := range translations[a.root] {
+			if dt.InstrDominates(cand, need) {
+				st.ReusedDominated++
+				return cand
+			}
+		}
+		pos, hoisted := hoistPosition(a.instr, a.root, lf, dt, opt)
+		// The chosen position must dominate the needing instruction; the
+		// root-adjacent or preheader positions always do, because the
+		// root dominates every instruction deriving from it.
+		l := newTranslate(f, a.root)
+		pos.block.InsertBefore(l, pos.before)
+		if hoisted {
+			st.Hoisted++
+		}
+		st.Translates++
+		translations[a.root] = append(translations[a.root], l)
+		// Inserting within existing blocks does not change the CFG, so dt
+		// remains valid; intra-block ordering is re-scanned by
+		// InstrDominates.
+		return l
+	}
+
+	for _, a := range accesses {
+		if !opt.Hoisting {
+			insertPrivate(a)
+			continue
+		}
+		addr := a.instr.Args[0]
+		if addr == a.root {
+			// Direct access through the root.
+			a.instr.Args[0] = getTranslation(a, a.instr)
+			continue
+		}
+		if addr.Op == ir.OpTranslate {
+			continue // already raw (escape pass output)
+		}
+		// Walk the GEP chain.
+		end := addr
+		for end.Op == ir.OpGEP {
+			end = end.Args[0]
+		}
+		if end.Op == ir.OpTranslate {
+			continue // chain already rebased by an earlier access
+		}
+		g := addr
+		for g.Op == ir.OpGEP && g.Args[0] != a.root {
+			g = g.Args[0]
+		}
+		if g.Op == ir.OpGEP && g.Args[0] == a.root && !rebasedGEP[g] && addressOnly(g, f) {
+			l := getTranslation(a, g)
+			g.Args[0] = l
+			rebasedGEP[g] = true
+			continue
+		}
+		insertPrivate(a)
+	}
+	return nil
+}
+
+// insertPos is a position before a specific instruction in a block.
+type insertPos struct {
+	block  *ir.Block
+	before *ir.Instr
+}
+
+// hoistPosition implements Translate/FindNestingLoop from Algorithm 1: it
+// climbs the loop nesting tree from the innermost loop containing the
+// access while the loop still contains the access but not the root's
+// definition, and returns the preheader terminator of the outermost such
+// loop. With hoisting disabled — or when no loop qualifies — the position
+// is immediately before the access itself.
+func hoistPosition(acc, root *ir.Instr, lf *ir.LoopForest, dt *ir.DomTree, opt Options) (insertPos, bool) {
+	l := lf.InnermostContaining(acc.Block)
+	var best *ir.Loop
+	for l != nil {
+		if l.ContainsInstr(acc) && !l.ContainsInstr(root) && rootAvailableAt(root, l.Preheader, dt) {
+			best = l
+			l = l.Parent
+			continue
+		}
+		break
+	}
+	if best == nil || best.Preheader == nil {
+		return afterDef(root), false
+	}
+	term := best.Preheader.Instrs[len(best.Preheader.Instrs)-1]
+	return insertPos{best.Preheader, term}, true
+}
+
+// afterDef returns the position immediately after the root's definition
+// (after the whole phi group when the root is a phi), which dominates
+// every instruction that can use the root.
+func afterDef(root *ir.Instr) insertPos {
+	b := root.Block
+	idx := -1
+	for k, i := range b.Instrs {
+		if i == root {
+			idx = k
+			break
+		}
+	}
+	if idx < 0 {
+		panic("compiler: root not found in its block")
+	}
+	k := idx + 1
+	if root.Op == ir.OpPhi {
+		for k < len(b.Instrs) && b.Instrs[k].Op == ir.OpPhi {
+			k++
+		}
+	}
+	// Every verified block ends with a terminator, so k is in range.
+	return insertPos{b, b.Instrs[k]}
+}
+
+// rootAvailableAt reports whether the root's definition is available at
+// the end of block b (i.e. a translation inserted there would have its
+// operand defined). Roots defined in b itself are available because
+// insertion is before the terminator.
+func rootAvailableAt(root *ir.Instr, b *ir.Block, dt *ir.DomTree) bool {
+	if b == nil {
+		return false
+	}
+	if root.Block == b {
+		return true
+	}
+	return dt.Dominates(root.Block, b)
+}
+
+// newTranslate creates a translate instruction for root. ID assignment
+// goes through the function to stay dense.
+func newTranslate(f *ir.Func, root *ir.Instr) *ir.Instr {
+	l := f.NewRawInstr(ir.OpTranslate)
+	l.Ty = ir.Ptr
+	l.Args = []*ir.Instr{root}
+	return l
+}
+
+// domPreorder returns blocks in dominator-tree preorder (entry first).
+func domPreorder(f *ir.Func, dt *ir.DomTree) []*ir.Block {
+	children := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		if b.Index == 0 {
+			continue
+		}
+		id := dt.IDom(b)
+		if id != nil {
+			children[id] = append(children[id], b)
+		}
+	}
+	var out []*ir.Block
+	var rec func(b *ir.Block)
+	rec = func(b *ir.Block) {
+		out = append(out, b)
+		kids := children[b]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Index < kids[j].Index })
+		for _, k := range kids {
+			rec(k)
+		}
+	}
+	rec(f.Entry())
+	return out
+}

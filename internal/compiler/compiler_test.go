@@ -1,0 +1,471 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"alaska/internal/ir"
+)
+
+// gridProgram models the hoistable case: one big allocation accessed in a
+// nested loop with the base defined outside all loops (619.lbm's shape).
+func gridProgram(n int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	size := b.Const(n * n * 8)
+	base := b.Alloc(size)
+	zero := b.Const(0)
+	end := b.Const(n)
+	one := b.Const(1)
+	eight := b.Const(8)
+	outer := b.Loop("i", zero, end, one)
+	inner := b.Loop("j", zero, end, one)
+	row := b.Mul(outer.IndVar, end)
+	idx := b.Add(row, inner.IndVar)
+	off := b.Mul(idx, eight)
+	addr := b.GEP(base, off)
+	v := b.Load(addr, ir.Int)
+	v2 := b.Add(v, one)
+	b.Store(addr, v2)
+	b.Close(inner)
+	b.Close(outer)
+	b.Free(base)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// listProgram models the unhoistable case: pointer chasing through loaded
+// pointers (sglib/xalancbmk's shape). Builds no real list — the IR shape
+// is what matters for the pass; the VM tests run real ones.
+func listProgram() *ir.Module {
+	f := ir.NewFunc("walk", 1)
+	b := ir.NewBuilder(f)
+	head := b.Param(0, ir.Ptr)
+	zero := b.Const(0)
+
+	loop := b.NewBlock("loop")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	cur := b.Phi(ir.Ptr, head, nil)
+	notNull := b.Cmp(ir.CmpNE, cur, zero)
+	b.CondBr(notNull, body, exit)
+
+	b.SetBlock(body)
+	eight := b.Const(8)
+	valAddr := b.GEP(cur, eight)
+	_ = b.Load(valAddr, ir.Int)
+	next := b.Load(cur, ir.Ptr) // next pointer at offset 0
+	b.Br(loop)
+	cur.Args[1] = next
+
+	b.SetBlock(exit)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+func countOps(m *ir.Module, op ir.Op) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, i := range b.Instrs {
+				if i.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestTransformGridHoistsToOutermost(t *testing.T) {
+	m := gridProgram(16)
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Translates != 1 {
+		t.Errorf("Translates = %d, want 1 (single hoisted translation)", st.Translates)
+	}
+	if st.Hoisted != 1 {
+		t.Errorf("Hoisted = %d, want 1", st.Hoisted)
+	}
+	// The translation must sit in the outermost loop's preheader — i.e. a
+	// block outside both loops.
+	f := m.Funcs[0]
+	lf, _ := ir.BuildLoopForest(f)
+	var tr *ir.Instr
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpTranslate {
+				tr = i
+			}
+		}
+	}
+	if tr == nil {
+		t.Fatal("no translate instruction found")
+	}
+	for _, l := range lf.Top {
+		if l.ContainsInstr(tr) {
+			t.Error("translation was not hoisted out of the outermost loop")
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformGridNoHoisting(t *testing.T) {
+	m := gridProgram(16)
+	st, err := Transform(m, Options{Hoisting: false, Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hoisted != 0 {
+		t.Errorf("Hoisted = %d, want 0 with hoisting disabled", st.Hoisted)
+	}
+	// Load and store share one dominating translation inside the body; at
+	// least one translation must exist and it must be inside the loop.
+	f := m.Funcs[0]
+	lf, _ := ir.BuildLoopForest(f)
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpTranslate {
+				in := false
+				for _, l := range lf.Top {
+					if l.ContainsInstr(i) {
+						in = true
+					}
+				}
+				if !in {
+					t.Error("translation outside loops despite nohoisting")
+				}
+			}
+		}
+	}
+}
+
+func TestTransformListTranslatesPerHop(t *testing.T) {
+	m := listProgram()
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The phi root is loop-carried: its translation cannot be hoisted.
+	if st.Hoisted != 0 {
+		t.Errorf("Hoisted = %d, want 0 for pointer chasing", st.Hoisted)
+	}
+	if st.Translates == 0 {
+		t.Fatal("no translations inserted")
+	}
+	f := m.Funcs[0]
+	lf, _ := ir.BuildLoopForest(f)
+	if len(lf.Top) == 0 {
+		t.Fatal("loop lost during transformation")
+	}
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpTranslate && i.Args[0].Op == ir.OpPhi {
+				if !lf.Top[0].ContainsInstr(i) {
+					t.Error("phi translation hoisted out of the loop — unsound")
+				}
+			}
+		}
+	}
+}
+
+func TestAllocationsReplaced(t *testing.T) {
+	m := gridProgram(4)
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AllocsReplaced != 1 {
+		t.Errorf("AllocsReplaced = %d, want 1", st.AllocsReplaced)
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, i := range b.Instrs {
+				if (i.Op == ir.OpAlloc || i.Op == ir.OpFree) && i.Sub != 1 {
+					t.Error("allocation not converted to halloc/hfree")
+				}
+			}
+		}
+	}
+}
+
+func TestPinSlotsAssigned(t *testing.T) {
+	m := gridProgram(8)
+	_, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[0]
+	if f.PinSetSize < 1 {
+		t.Errorf("PinSetSize = %d, want >= 1", f.PinSetSize)
+	}
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpTranslate && i.Slot < 0 {
+				t.Error("translate without an assigned pin slot")
+			}
+			if i.Op == ir.OpTranslate && i.Slot >= f.PinSetSize {
+				t.Errorf("slot %d out of pin set of %d", i.Slot, f.PinSetSize)
+			}
+		}
+	}
+}
+
+func TestPinSlotsReusedWhenDisjoint(t *testing.T) {
+	// Two sequential loops over two different allocations: live ranges are
+	// disjoint, so the two translations must share slot 0.
+	f := ir.NewFunc("seq", 0)
+	b := ir.NewBuilder(f)
+	size := b.Const(256)
+	a1 := b.Alloc(size)
+	a2 := b.Alloc(size)
+	zero := b.Const(0)
+	n := b.Const(8)
+	one := b.Const(1)
+	eight := b.Const(8)
+
+	l1 := b.Loop("l1", zero, n, one)
+	off1 := b.Mul(l1.IndVar, eight)
+	ad1 := b.GEP(a1, off1)
+	b.Store(ad1, l1.IndVar)
+	b.Close(l1)
+
+	l2 := b.Loop("l2", zero, n, one)
+	off2 := b.Mul(l2.IndVar, eight)
+	ad2 := b.GEP(a2, off2)
+	b.Store(ad2, l2.IndVar)
+	b.Close(l2)
+	b.Ret(nil)
+	f.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Translates != 2 {
+		t.Fatalf("Translates = %d, want 2", st.Translates)
+	}
+	if f.PinSetSize != 1 {
+		t.Errorf("PinSetSize = %d, want 1 (disjoint ranges share a slot)", f.PinSetSize)
+	}
+}
+
+func TestPinSlotsDistinctWhenOverlapping(t *testing.T) {
+	// Copy loop: src and dst both live across the loop — two slots needed.
+	f := ir.NewFunc("copy", 0)
+	b := ir.NewBuilder(f)
+	size := b.Const(256)
+	src := b.Alloc(size)
+	dst := b.Alloc(size)
+	zero := b.Const(0)
+	n := b.Const(8)
+	one := b.Const(1)
+	eight := b.Const(8)
+	l := b.Loop("l", zero, n, one)
+	off := b.Mul(l.IndVar, eight)
+	sa := b.GEP(src, off)
+	da := b.GEP(dst, off)
+	v := b.Load(sa, ir.Int)
+	b.Store(da, v)
+	b.Close(l)
+	b.Ret(nil)
+	f.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+
+	_, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PinSetSize != 2 {
+		t.Errorf("PinSetSize = %d, want 2 (overlapping pins)", f.PinSetSize)
+	}
+	var slots []int
+	for _, blk := range f.Blocks {
+		for _, i := range blk.Instrs {
+			if i.Op == ir.OpTranslate {
+				slots = append(slots, i.Slot)
+			}
+		}
+	}
+	if len(slots) == 2 && slots[0] == slots[1] {
+		t.Error("overlapping translations share a pin slot")
+	}
+}
+
+func TestSafepointsOnBackEdgesAndEntry(t *testing.T) {
+	m := gridProgram(4)
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Safepoints < 3 { // entry + 2 loop latches
+		t.Errorf("Safepoints = %d, want >= 3", st.Safepoints)
+	}
+	f := m.Funcs[0]
+	if f.Entry().Instrs[0].Op != ir.OpSafepoint {
+		t.Error("no safepoint at function entry")
+	}
+	lf, _ := ir.BuildLoopForest(f)
+	var check func(l *ir.Loop)
+	check = func(l *ir.Loop) {
+		for _, latch := range l.Latches {
+			found := false
+			for _, i := range latch.Instrs {
+				if i.Op == ir.OpSafepoint {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no safepoint on back edge of loop %s", l.Header.Name)
+			}
+		}
+		for _, c := range l.Children {
+			check(c)
+		}
+	}
+	for _, l := range lf.Top {
+		check(l)
+	}
+}
+
+func TestNoTrackingSkipsSafepointsAndSlots(t *testing.T) {
+	m := gridProgram(4)
+	st, err := Transform(m, Options{Hoisting: true, Tracking: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Safepoints != 0 {
+		t.Errorf("Safepoints = %d, want 0 in notracking mode", st.Safepoints)
+	}
+	if m.Funcs[0].PinSetSize != 0 {
+		t.Errorf("PinSetSize = %d, want 0", m.Funcs[0].PinSetSize)
+	}
+	if countOps(m, ir.OpSafepoint) != 0 {
+		t.Error("safepoint instructions present in notracking mode")
+	}
+}
+
+func TestEscapeHandlingPinsExternalArgs(t *testing.T) {
+	f := ir.NewFunc("caller", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(b.Const(64))
+	n := b.Const(64)
+	b.Call("ext_write", ir.Int, p, n)
+	b.Ret(nil)
+	f.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EscapesPinned != 1 {
+		t.Errorf("EscapesPinned = %d, want 1", st.EscapesPinned)
+	}
+	// The call's pointer arg must now be a translation result.
+	for _, blk := range m.Funcs[0].Blocks {
+		for _, i := range blk.Instrs {
+			if i.Op == ir.OpCall && i.Callee == "ext_write" {
+				if i.Args[0].Op != ir.OpTranslate {
+					t.Errorf("external call arg is %v, want translate", i.Args[0].Op)
+				}
+			}
+		}
+	}
+	// A safepoint must precede the external call.
+	if st.Safepoints < 1 {
+		t.Error("no safepoint before external call")
+	}
+}
+
+func TestInternalCallsPassHandlesUnpinned(t *testing.T) {
+	callee := ir.NewFunc("callee", 1)
+	cb := ir.NewBuilder(callee)
+	arg := cb.Param(0, ir.Ptr)
+	v := cb.Load(arg, ir.Int)
+	cb.Ret(v)
+	callee.Finish()
+
+	caller := ir.NewFunc("caller", 0)
+	b := ir.NewBuilder(caller)
+	p := b.Alloc(b.Const(8))
+	b.Call("callee", ir.Int, p)
+	b.Ret(nil)
+	caller.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{caller, callee}}
+
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EscapesPinned != 0 {
+		t.Errorf("EscapesPinned = %d, want 0 for internal call", st.EscapesPinned)
+	}
+	// The callee translates its pointer parameter before loading.
+	for _, blk := range callee.Blocks {
+		for _, i := range blk.Instrs {
+			if i.Op == ir.OpLoad && i.Args[0].Op != ir.OpTranslate && i.Args[0].Op != ir.OpGEP {
+				t.Errorf("callee load address is %v, want translated", i.Args[0])
+			}
+		}
+	}
+}
+
+func TestReleasesRemovedFromOutput(t *testing.T) {
+	m := gridProgram(4)
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReleasesPlaced == 0 {
+		t.Error("no releases were ever placed")
+	}
+	if countOps(m, ir.OpRelease) != 0 {
+		t.Error("release instructions remain in final program")
+	}
+}
+
+func TestCodeGrowthReported(t *testing.T) {
+	m := gridProgram(8)
+	st, err := Transform(m, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CodeGrowth() <= 1.0 {
+		t.Errorf("CodeGrowth = %v, want > 1", st.CodeGrowth())
+	}
+	if st.InstrsAfter <= st.InstrsBefore {
+		t.Error("instruction count did not grow")
+	}
+}
+
+func TestTransformRejectsInvalidModule(t *testing.T) {
+	f := ir.NewFunc("broken", 0)
+	ir.NewBuilder(f).Const(1) // unterminated
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+	if _, err := Transform(m, DefaultOptions); err == nil {
+		t.Error("invalid module accepted")
+	}
+}
+
+func TestTransformIdempotentVerify(t *testing.T) {
+	// Output of a transform must verify and print cleanly.
+	m := listProgram()
+	if _, err := Transform(m, DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Funcs[0].String()
+	if !strings.Contains(s, "translate") {
+		t.Error("printed output missing translate")
+	}
+}

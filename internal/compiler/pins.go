@@ -1,0 +1,318 @@
+package compiler
+
+import (
+	"alaska/internal/ir"
+)
+
+// This file implements the tracking half of the Alaska compiler (§4.1.3):
+// release insertion from liveness, pin-set slot assignment by greedy
+// interference-graph colouring (the register-allocation-like algorithm the
+// paper describes), safepoint insertion, and the escape pass for external
+// calls (§4.1.4).
+
+// groupsOf maps every value that carries a translated pointer back to the
+// translate instruction it derives from (through rebased GEP chains). The
+// live range of a pin is the union of its group's members' live ranges:
+// the object must stay pinned while any derived raw pointer is usable.
+func groupsOf(f *ir.Func) map[*ir.Instr]*ir.Instr {
+	g := make(map[*ir.Instr]*ir.Instr)
+	// Iterate in program order; GEPs always appear after their base
+	// definition in builder-generated code, but loop until fixpoint to be
+	// safe with arbitrary block layouts.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, i := range b.Instrs {
+				switch i.Op {
+				case ir.OpTranslate:
+					if g[i] != i {
+						g[i] = i
+						changed = true
+					}
+				case ir.OpGEP:
+					if base := g[i.Args[0]]; base != nil && g[i] != base {
+						g[i] = base
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// insertReleases places an OpRelease after the last use of each
+// translation's pin group, per the liveness analysis (§4.1.2: "for each
+// ptr = translate(handle), release(handle) calls are inserted immediately
+// at the end of ptr's lifetime"). Releases are informational — they
+// delimit live ranges for slot assignment and are removed before the
+// program runs.
+func insertReleases(f *ir.Func, st *Stats) {
+	groups := groupsOf(f)
+	lv := ir.BuildLiveness(f)
+
+	for _, b := range f.Blocks {
+		// Groups with a member live out of this block die elsewhere.
+		liveOut := make(map[*ir.Instr]bool)
+		for vid := range lv.LiveOut[b.Index] {
+			if tr := groupByID(groups, f, vid); tr != nil {
+				liveOut[tr] = true
+			}
+		}
+		// Walk backward; the first (last in program order) use of a group
+		// that is not live-out gets a release after it.
+		released := make(map[*ir.Instr]bool)
+		var toInsert []struct{ after, rel *ir.Instr }
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			i := b.Instrs[k]
+			if i.Op == ir.OpRelease {
+				continue
+			}
+			for _, a := range i.Args {
+				tr := groups[a]
+				if tr == nil || liveOut[tr] || released[tr] {
+					continue
+				}
+				released[tr] = true
+				rel := f.NewRawInstr(ir.OpRelease)
+				rel.Args = []*ir.Instr{tr}
+				toInsert = append(toInsert, struct{ after, rel *ir.Instr }{i, rel})
+			}
+		}
+		for _, ins := range toInsert {
+			// Never insert after a terminator.
+			if t := b.Term(); t == ins.after {
+				b.InsertBefore(ins.rel, t)
+			} else {
+				b.InsertAfter(ins.rel, ins.after)
+			}
+			st.ReleasesPlaced++
+		}
+	}
+
+	// Second pass: groups that die on a control-flow edge (live out of a
+	// predecessor, not live into the successor) — the loop-exit case —
+	// get their release at the top of the successor block.
+	for _, b := range f.Blocks {
+		liveIn := make(map[*ir.Instr]bool)
+		for vid := range lv.LiveIn[b.Index] {
+			if tr := groupByID(groups, f, vid); tr != nil {
+				liveIn[tr] = true
+			}
+		}
+		placed := make(map[*ir.Instr]bool)
+		for _, p := range b.Preds {
+			for vid := range lv.LiveOut[p.Index] {
+				tr := groupByID(groups, f, vid)
+				if tr == nil || liveIn[tr] || placed[tr] {
+					continue
+				}
+				placed[tr] = true
+				rel := f.NewRawInstr(ir.OpRelease)
+				rel.Args = []*ir.Instr{tr}
+				// Releases go after any phis at the block head.
+				pos := 0
+				for pos < len(b.Instrs) && b.Instrs[pos].Op == ir.OpPhi {
+					pos++
+				}
+				if pos < len(b.Instrs) {
+					b.InsertBefore(rel, b.Instrs[pos])
+				}
+				st.ReleasesPlaced++
+			}
+		}
+	}
+}
+
+// groupByID finds the translate owning the value with the given ID.
+func groupByID(groups map[*ir.Instr]*ir.Instr, f *ir.Func, id int) *ir.Instr {
+	for v, tr := range groups {
+		if v.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// removeReleases strips all OpRelease markers (§4.1.2: removed before the
+// program is run).
+func removeReleases(f *ir.Func) {
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, i := range b.Instrs {
+			if i.Op != ir.OpRelease {
+				kept = append(kept, i)
+			}
+		}
+		b.Instrs = kept
+	}
+}
+
+// assignPinSlots gives each static translation a slot in its function's
+// pin set using greedy colouring of the pin-group interference graph —
+// "a greedy interference graph-based allocation strategy similar to a
+// register allocation algorithm" (§4.1.3). The pin set is sized to the
+// chromatic number found.
+func assignPinSlots(f *ir.Func, st *Stats) {
+	groups := groupsOf(f)
+	lv := ir.BuildLiveness(f)
+
+	// Collect translations in deterministic order.
+	var translates []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpTranslate {
+				translates = append(translates, i)
+			}
+		}
+	}
+	if len(translates) == 0 {
+		f.PinSetSize = 0
+		return
+	}
+
+	// Interference: recorded at each translation's definition against all
+	// groups live at that point (backward per-block scan).
+	interf := make(map[*ir.Instr]map[*ir.Instr]bool)
+	addEdge := func(a, b *ir.Instr) {
+		if a == b {
+			return
+		}
+		if interf[a] == nil {
+			interf[a] = make(map[*ir.Instr]bool)
+		}
+		if interf[b] == nil {
+			interf[b] = make(map[*ir.Instr]bool)
+		}
+		interf[a][b] = true
+		interf[b][a] = true
+	}
+	for _, b := range f.Blocks {
+		live := make(map[*ir.Instr]bool)
+		for vid := range lv.LiveOut[b.Index] {
+			if tr := groupByID(groups, f, vid); tr != nil {
+				live[tr] = true
+			}
+		}
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			i := b.Instrs[k]
+			if i.Op == ir.OpTranslate {
+				for other := range live {
+					addEdge(i, other)
+				}
+				delete(live, i)
+			}
+			for _, a := range i.Args {
+				if tr := groups[a]; tr != nil {
+					live[tr] = true
+				}
+			}
+		}
+	}
+
+	// Greedy colouring in program order.
+	maxColor := -1
+	for _, tr := range translates {
+		used := make(map[int]bool)
+		for other := range interf[tr] {
+			if other.Slot >= 0 {
+				used[other.Slot] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		tr.Slot = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	f.PinSetSize = maxColor + 1
+	st.PinSlotsTotal += f.PinSetSize
+	if f.PinSetSize > st.MaxPinSetSize {
+		st.MaxPinSetSize = f.PinSetSize
+	}
+}
+
+// insertSafepoints places poll points on loop back edges, at the entry of
+// functions that translate handles, and before external calls (§4.1.3).
+func insertSafepoints(m *ir.Module, f *ir.Func, st *Stats) {
+	hasTranslate := false
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpTranslate || i.Op == ir.OpAlloc {
+				hasTranslate = true
+			}
+		}
+	}
+	add := func(b *ir.Block, before *ir.Instr) {
+		sp := f.NewRawInstr(ir.OpSafepoint)
+		b.InsertBefore(sp, before)
+		st.Safepoints++
+	}
+	// Function entry.
+	if hasTranslate && len(f.Entry().Instrs) > 0 {
+		add(f.Entry(), f.Entry().Instrs[0])
+	}
+	// Loop back edges: latch terminators.
+	lf, _ := ir.BuildLoopForest(f)
+	seen := make(map[*ir.Block]bool)
+	var visit func(l *ir.Loop)
+	visit = func(l *ir.Loop) {
+		for _, latch := range l.Latches {
+			if !seen[latch] {
+				seen[latch] = true
+				add(latch, latch.Instrs[len(latch.Instrs)-1])
+			}
+		}
+		for _, c := range l.Children {
+			visit(c)
+		}
+	}
+	for _, l := range lf.Top {
+		visit(l)
+	}
+	// Before external calls.
+	for _, b := range f.Blocks {
+		var ext []*ir.Instr
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpCall && m.Lookup(i.Callee) == nil {
+				ext = append(ext, i)
+			}
+		}
+		for _, c := range ext {
+			add(b, c)
+		}
+	}
+}
+
+// escapeHandling pins handles that escape into external (uncompiled) code:
+// for each pointer argument of a call to a function outside the module, a
+// translation is inserted before the call and the raw pointer is passed
+// instead (§4.1.4).
+func escapeHandling(m *ir.Module, f *ir.Func, st *Stats) error {
+	for _, b := range f.Blocks {
+		// Snapshot: we mutate the instruction list while iterating.
+		instrs := append([]*ir.Instr(nil), b.Instrs...)
+		for _, i := range instrs {
+			if i.Op != ir.OpCall || m.Lookup(i.Callee) != nil {
+				continue
+			}
+			for k, a := range i.Args {
+				if a.Ty != ir.Ptr {
+					continue
+				}
+				if a.Op == ir.OpTranslate {
+					continue // already raw
+				}
+				l := newTranslate(f, a)
+				b.InsertBefore(l, i)
+				i.Args[k] = l
+				st.EscapesPinned++
+				st.Translates++
+			}
+		}
+	}
+	return nil
+}

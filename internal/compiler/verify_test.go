@@ -1,0 +1,85 @@
+package compiler
+
+import (
+	"testing"
+
+	"alaska/internal/ir"
+)
+
+func TestVerifyTranslatedAcceptsTransformed(t *testing.T) {
+	for _, opt := range []Options{
+		{Hoisting: true, Tracking: true},
+		{Hoisting: false, Tracking: true},
+		{Hoisting: true, Tracking: false},
+	} {
+		m := gridProgram(8)
+		if _, err := Transform(m, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTranslated(m, opt); err != nil {
+			t.Errorf("opt %+v: %v", opt, err)
+		}
+		m2 := listProgram()
+		if _, err := Transform(m2, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTranslated(m2, opt); err != nil {
+			t.Errorf("list, opt %+v: %v", opt, err)
+		}
+	}
+}
+
+func TestVerifyTranslatedRejectsRawHallocAccess(t *testing.T) {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(b.Const(8))
+	v := b.Load(p, ir.Int)
+	b.Ret(v)
+	f.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+	// Mark as halloc without inserting translations.
+	for _, blk := range f.Blocks {
+		for _, i := range blk.Instrs {
+			if i.Op == ir.OpAlloc {
+				i.Sub = 1
+			}
+		}
+	}
+	if err := VerifyTranslated(m, DefaultOptions); err == nil {
+		t.Error("untranslated halloc access accepted")
+	}
+}
+
+func TestVerifyTranslatedRejectsMissingSlot(t *testing.T) {
+	m := gridProgram(4)
+	if _, err := Transform(m, DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	// Break a slot.
+	for _, f := range m.Funcs {
+		for _, blk := range f.Blocks {
+			for _, i := range blk.Instrs {
+				if i.Op == ir.OpTranslate {
+					i.Slot = -1
+				}
+			}
+		}
+	}
+	if err := VerifyTranslated(m, DefaultOptions); err == nil {
+		t.Error("translate without slot accepted under tracking")
+	}
+}
+
+func TestVerifyTranslatedRejectsEscapingHandle(t *testing.T) {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(b.Const(8))
+	b.Call("ext_sink", ir.Int, p)
+	b.Ret(nil)
+	f.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+	// No escape handling was run; p is a Ptr arg to an external call.
+	if err := VerifyTranslated(m, Options{Hoisting: true, Tracking: false}); err == nil {
+		t.Error("escaping handle accepted")
+	}
+}

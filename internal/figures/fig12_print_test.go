@@ -1,0 +1,25 @@
+package figures
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPrintFigure12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	res, err := Figure12([]int{1, 4}, []time.Duration{50 * time.Millisecond, 400 * time.Millisecond}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		kind := "baseline"
+		if r.Alaska {
+			kind = fmt.Sprintf("alaska@%v", r.Interval)
+		}
+		fmt.Printf("threads=%d %-16s ops=%7d avg=%8v p99=%8v maxpause=%v pauses=%d\n",
+			r.Threads, kind, r.Ops, r.AvgLatency, r.P99, r.MaxPause, r.Pauses)
+	}
+}

@@ -1,0 +1,182 @@
+// Package figures contains one harness per figure/table of the paper's
+// evaluation (§5). Each harness regenerates the corresponding result from
+// this repository's substrate: cycle-count overheads for Figures 7 and 8,
+// RSS-over-time curves for Figures 9-11, and latency measurements for
+// Figure 12. cmd/ binaries and bench_test.go are thin wrappers over these.
+package figures
+
+import (
+	"fmt"
+
+	"alaska/internal/compiler"
+	"alaska/internal/stats"
+	"alaska/internal/vm"
+	"alaska/internal/workloads"
+)
+
+// BenchResult is one bar of Figure 7.
+type BenchResult struct {
+	Name           string
+	Suite          string
+	BaselineCycles int64
+	AlaskaCycles   int64
+	// Overhead is the fractional cycle increase (0.10 = +10%).
+	Overhead float64
+	// PaperOverhead is the paper's reported percentage for comparison.
+	PaperOverhead float64
+	// CompileStats are the transformation statistics (Q2 code size).
+	CompileStats compiler.Stats
+}
+
+// runConfig runs one benchmark under the given compiler options and
+// returns (cycles, stats).
+func runConfig(b workloads.Benchmark, opt compiler.Options) (int64, compiler.Stats, error) {
+	mod := b.Build()
+	st, err := compiler.Transform(mod, opt)
+	if err != nil {
+		return 0, st, fmt.Errorf("%s: transform: %w", b.Name, err)
+	}
+	costs := vm.DefaultCosts
+	costs.Poll = b.PollCost
+	m, err := vm.NewAlaska(mod, costs)
+	if err != nil {
+		return 0, st, err
+	}
+	if _, err := m.Run("main"); err != nil {
+		return 0, st, fmt.Errorf("%s: alaska run: %w", b.Name, err)
+	}
+	cycles := m.Cycles
+	if err := m.Close(); err != nil {
+		return 0, st, err
+	}
+	return cycles, st, nil
+}
+
+// runBaseline runs the untransformed program with the plain allocator.
+func runBaseline(b workloads.Benchmark) (int64, error) {
+	mod := b.Build()
+	m := vm.NewBaseline(mod, vm.DefaultCosts)
+	if _, err := m.Run("main"); err != nil {
+		return 0, fmt.Errorf("%s: baseline run: %w", b.Name, err)
+	}
+	return m.Cycles, nil
+}
+
+// options returns the compiler options for a benchmark under the full
+// Alaska configuration, honouring the strict-aliasing carve-out.
+func options(b workloads.Benchmark) compiler.Options {
+	opt := compiler.DefaultOptions
+	if b.StrictAliasingViolation {
+		opt.Hoisting = false
+	}
+	return opt
+}
+
+// Figure7 measures the translation+tracking overhead of every modelled
+// benchmark, as Figure 7 of the paper.
+func Figure7() ([]BenchResult, error) {
+	var out []BenchResult
+	for _, b := range workloads.All() {
+		base, err := runBaseline(b)
+		if err != nil {
+			return nil, err
+		}
+		cyc, st, err := runConfig(b, options(b))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BenchResult{
+			Name:           b.Name,
+			Suite:          b.Suite,
+			BaselineCycles: base,
+			AlaskaCycles:   cyc,
+			Overhead:       float64(cyc-base) / float64(base),
+			PaperOverhead:  b.PaperOverhead,
+			CompileStats:   st,
+		})
+	}
+	return out, nil
+}
+
+// Geomean aggregates the results the way the paper does. If excludeSA is
+// true, the strict-aliasing violators (perlbench, gcc) are dropped,
+// matching the paper's 8% figure.
+func Geomean(results []BenchResult, excludeSA bool) float64 {
+	var xs []float64
+	for _, r := range results {
+		if excludeSA && (r.Name == "perlbench" || r.Name == "gcc") {
+			continue
+		}
+		xs = append(xs, r.Overhead)
+	}
+	return stats.Geomean(xs)
+}
+
+// AblationResult is one benchmark row of Figure 8.
+type AblationResult struct {
+	Name string
+	// Overheads under the three configurations, as fractions.
+	Alaska     float64
+	NoTracking float64
+	NoHoisting float64
+}
+
+// Figure8 runs the ablation study of Figure 8 over the SPEC subset: full
+// Alaska, tracking removed, and hoisting removed.
+func Figure8() ([]AblationResult, error) {
+	var out []AblationResult
+	for _, b := range workloads.SPECSubset() {
+		base, err := runBaseline(b)
+		if err != nil {
+			return nil, err
+		}
+		over := func(opt compiler.Options) (float64, error) {
+			cyc, _, err := runConfig(b, opt)
+			if err != nil {
+				return 0, err
+			}
+			return float64(cyc-base) / float64(base), nil
+		}
+		full, err := over(compiler.Options{Hoisting: true, Tracking: true})
+		if err != nil {
+			return nil, err
+		}
+		noTrack, err := over(compiler.Options{Hoisting: true, Tracking: false})
+		if err != nil {
+			return nil, err
+		}
+		noHoist, err := over(compiler.Options{Hoisting: false, Tracking: true})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: b.Name, Alaska: full, NoTracking: noTrack, NoHoisting: noHoist})
+	}
+	return out, nil
+}
+
+// CodeSizeRow reports the static code growth for one benchmark (Q2).
+type CodeSizeRow struct {
+	Name   string
+	Before int
+	After  int
+	Growth float64
+}
+
+// CodeSize computes the static instruction growth of the Alaska
+// transformation for every benchmark — the §5.2 executable-size result
+// (paper: ~48% geomean, worst case ~2x for xalancbmk, negligible for NAS).
+func CodeSize() ([]CodeSizeRow, float64, error) {
+	var rows []CodeSizeRow
+	var growths []float64
+	for _, b := range workloads.All() {
+		mod := b.Build()
+		st, err := compiler.Transform(mod, options(b))
+		if err != nil {
+			return nil, 0, err
+		}
+		g := st.CodeGrowth()
+		rows = append(rows, CodeSizeRow{Name: b.Name, Before: st.InstrsBefore, After: st.InstrsAfter, Growth: g})
+		growths = append(growths, g-1)
+	}
+	return rows, stats.Geomean(growths), nil
+}

@@ -1,0 +1,355 @@
+// Package handle implements Alaska's handle representation and the
+// single-level handle table (§3.3 and §4.2.1 of the paper).
+//
+// A handle is a 64-bit word that coexists with raw pointers in the same
+// values: bit 63 distinguishes the two (1 = handle, 0 = pointer). Bits
+// 62..32 hold a 31-bit handle ID that indexes the handle table, and bits
+// 31..0 hold a byte offset into the object, capping object size at 4 GiB —
+// exactly the layout of the paper's Figure 4. Because any real (simulated)
+// virtual address in this repository is far below 2^63, an un-translated
+// handle dereferenced as an address faults, as footnote 5 of the paper
+// intends.
+//
+// The handle table is a flat array of fixed-size entries (HTEs), one per
+// live object, so translation is a single load: table[id].Backing + offset.
+// Entries are allocated with a bump pointer and recycled through a free
+// list (free list consulted first), matching §4.2.1.
+package handle
+
+import (
+	"fmt"
+	"sync"
+
+	"alaska/internal/mem"
+)
+
+// Handle is a 64-bit value that is either a raw pointer (top bit clear) or
+// an encoded handle (top bit set).
+type Handle uint64
+
+const (
+	// TopBit marks a word as a handle rather than a raw pointer.
+	TopBit Handle = 1 << 63
+	// idBits is the width of the handle ID field.
+	idBits = 31
+	// offsetBits is the width of the intra-object offset field.
+	offsetBits = 32
+	// MaxID is the largest representable handle ID (2^31 - 1).
+	MaxID = 1<<idBits - 1
+	// MaxObjectSize is the largest object addressable through a handle
+	// (4 GiB); the paper argues larger objects are better served by paging.
+	MaxObjectSize = uint64(1) << offsetBits
+)
+
+// Make builds a handle word from an ID and an intra-object offset.
+func Make(id uint32, offset uint32) Handle {
+	return TopBit | Handle(id&MaxID)<<offsetBits | Handle(offset)
+}
+
+// IsHandle reports whether the word has the handle bit set.
+func (h Handle) IsHandle() bool { return h&TopBit != 0 }
+
+// ID extracts the 31-bit handle table index.
+func (h Handle) ID() uint32 { return uint32(h>>offsetBits) & MaxID }
+
+// Offset extracts the 32-bit intra-object byte offset.
+func (h Handle) Offset() uint32 { return uint32(h) }
+
+// Add returns the handle displaced by delta bytes. This is what pointer
+// arithmetic (getelementptr) on a handle compiles to: only the low 32 bits
+// change, so the identity of the object is preserved. Callers may produce
+// offsets outside the allocation; per §3.2 such programs are out of
+// contract and translation of the result is unspecified (we fault).
+func (h Handle) Add(delta int64) Handle {
+	return (h &^ Handle(MaxObjectSize-1)) | Handle(uint32(int64(h.Offset())+delta))
+}
+
+// String formats the handle for diagnostics.
+func (h Handle) String() string {
+	if !h.IsHandle() {
+		return fmt.Sprintf("ptr(%#x)", uint64(h))
+	}
+	return fmt.Sprintf("handle(id=%d, off=%d)", h.ID(), h.Offset())
+}
+
+// Entry flag bits.
+const (
+	// FlagAllocated marks a live HTE.
+	FlagAllocated uint8 = 1 << iota
+	// FlagInvalid marks a "handle fault" entry (§7): translation must trap
+	// to the runtime so a service can swap the object back in.
+	FlagInvalid
+)
+
+// Entry is a handle table entry (HTE). The paper's HTE is eight bytes (just
+// the backing pointer); we carry the object size and flags alongside
+// because the simulation has no out-of-band allocator metadata to consult.
+type Entry struct {
+	// Backing is the current address of the object's storage. The runtime
+	// updates it when a service moves the object; that single store is the
+	// O(1) relocation step handles exist to enable.
+	Backing mem.Addr
+	// Size is the object's allocation size in bytes.
+	Size uint64
+	// Pins is used only by the CountedPins tracking variant (the "naïve
+	// atomic pin_count" design of §3.4, kept for the ablation benchmark).
+	Pins int32
+	// Flags holds FlagAllocated / FlagInvalid.
+	Flags uint8
+}
+
+// ErrTableFull is returned when all 2^31 handle IDs are in use.
+var ErrTableFull = fmt.Errorf("handle: table full (2^31 entries)")
+
+// ErrBadHandle is returned for operations on words that are not live
+// handles.
+type ErrBadHandle struct {
+	H      Handle
+	Reason string
+}
+
+func (e *ErrBadHandle) Error() string {
+	return fmt.Sprintf("handle: %v: %s", e.H, e.Reason)
+}
+
+// Table is the single-level handle table. It is virtually sized for all
+// 2^31 entries but, like the paper's mmap-then-demand-page design, only
+// grows its storage as the bump pointer advances.
+type Table struct {
+	mu      sync.RWMutex
+	entries []Entry
+	free    []uint32 // LIFO free list of recycled IDs
+	bump    uint32   // next never-used ID
+	live    int
+	// peak tracks the high-water mark of live entries, used by tests and
+	// the HTE-density statistic in EXPERIMENTS.md.
+	peak int
+}
+
+// NewTable returns an empty handle table.
+func NewTable() *Table {
+	return &Table{entries: make([]Entry, 0, 1024)}
+}
+
+// Alloc reserves a handle ID and initializes its entry. The free list is
+// consulted before bump allocation (§4.2.1).
+func (t *Table) Alloc(backing mem.Addr, size uint64) (uint32, error) {
+	if size > MaxObjectSize {
+		return 0, fmt.Errorf("handle: object of %d bytes exceeds 4 GiB handle limit", size)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var id uint32
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		if t.bump > MaxID {
+			return 0, ErrTableFull
+		}
+		id = t.bump
+		t.bump++
+		for uint32(len(t.entries)) <= id {
+			t.entries = append(t.entries, Entry{})
+		}
+	}
+	t.entries[id] = Entry{Backing: backing, Size: size, Flags: FlagAllocated}
+	t.live++
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+	return id, nil
+}
+
+// Free releases an entry back to the free list.
+func (t *Table) Free(id uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return &ErrBadHandle{Make(id, 0), "free of unallocated handle"}
+	}
+	t.entries[id] = Entry{}
+	t.free = append(t.free, id)
+	t.live--
+	return nil
+}
+
+// Translate resolves a handle word to a raw simulated address:
+// table[id].Backing + offset. Raw pointers pass through unchanged, matching
+// the paper's translation function (§4.1.2). If the entry carries
+// FlagInvalid, ErrHandleFault is returned so the runtime can dispatch a
+// handle fault (§7).
+func (t *Table) Translate(h Handle) (mem.Addr, error) {
+	if !h.IsHandle() {
+		return mem.Addr(h), nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id := h.ID()
+	if int(id) >= len(t.entries) {
+		return 0, &ErrBadHandle{h, "id out of range"}
+	}
+	e := &t.entries[id]
+	if e.Flags&FlagAllocated == 0 {
+		return 0, &ErrBadHandle{h, "translate of freed handle"}
+	}
+	if e.Flags&FlagInvalid != 0 {
+		return 0, ErrHandleFault
+	}
+	if uint64(h.Offset()) >= e.Size {
+		return 0, &ErrBadHandle{h, fmt.Sprintf("offset %d outside %d-byte object", h.Offset(), e.Size)}
+	}
+	return e.Backing + mem.Addr(h.Offset()), nil
+}
+
+// ErrHandleFault signals that a translation hit an invalidated entry and
+// the runtime's fault path must run.
+var ErrHandleFault = fmt.Errorf("handle: fault (entry invalid)")
+
+// Get returns a copy of the entry for id.
+func (t *Table) Get(id uint32) (Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return Entry{}, &ErrBadHandle{Make(id, 0), "get of unallocated handle"}
+	}
+	return t.entries[id], nil
+}
+
+// SetBacking points the entry's backing storage at a new address — the
+// O(1) relocation update.
+func (t *Table) SetBacking(id uint32, backing mem.Addr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return &ErrBadHandle{Make(id, 0), "SetBacking of unallocated handle"}
+	}
+	t.entries[id].Backing = backing
+	return nil
+}
+
+// SetInvalid sets or clears the handle-fault bit on an entry.
+func (t *Table) SetInvalid(id uint32, invalid bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return &ErrBadHandle{Make(id, 0), "SetInvalid of unallocated handle"}
+	}
+	if invalid {
+		t.entries[id].Flags |= FlagInvalid
+	} else {
+		t.entries[id].Flags &^= FlagInvalid
+	}
+	return nil
+}
+
+// BeginSpeculativeMove transitions a valid entry to the invalid ("moving")
+// state and returns a snapshot of it — the first step of the §7 concurrent
+// relocation protocol. It fails if the entry is free or already moving.
+func (t *Table) BeginSpeculativeMove(id uint32) (Entry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return Entry{}, &ErrBadHandle{Make(id, 0), "speculative move of unallocated handle"}
+	}
+	if t.entries[id].Flags&FlagInvalid != 0 {
+		return Entry{}, &ErrBadHandle{Make(id, 0), "entry already moving/invalid"}
+	}
+	t.entries[id].Flags |= FlagInvalid
+	return t.entries[id], nil
+}
+
+// CommitSpeculativeMove atomically completes a speculative move: if the
+// entry is still in the moving state, its backing is swung to newAddr and
+// it is revalidated (the protocol's successful CAS), returning true. If a
+// concurrent accessor already revalidated the entry (the abort path), it
+// returns false and the entry is untouched.
+func (t *Table) CommitSpeculativeMove(id uint32, newAddr mem.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return false
+	}
+	if t.entries[id].Flags&FlagInvalid == 0 {
+		return false // revalidated by an accessor: move aborted
+	}
+	t.entries[id].Backing = newAddr
+	t.entries[id].Flags &^= FlagInvalid
+	return true
+}
+
+// Revalidate transitions a moving entry back to valid with its original
+// backing — the accessor's side of the §7 protocol (run from the handle-
+// fault handler). It returns true if this call performed the transition
+// (thereby aborting any in-flight move), false if the entry was already
+// valid.
+func (t *Table) Revalidate(id uint32) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return false, &ErrBadHandle{Make(id, 0), "revalidate of unallocated handle"}
+	}
+	if t.entries[id].Flags&FlagInvalid == 0 {
+		return false, nil
+	}
+	t.entries[id].Flags &^= FlagInvalid
+	return true, nil
+}
+
+// AddPin adjusts the per-entry atomic pin count (ablation path only).
+func (t *Table) AddPin(id uint32, delta int32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return &ErrBadHandle{Make(id, 0), "pin of unallocated handle"}
+	}
+	t.entries[id].Pins += delta
+	if t.entries[id].Pins < 0 {
+		return &ErrBadHandle{Make(id, 0), "pin count underflow"}
+	}
+	return nil
+}
+
+// PinCount returns the per-entry pin count (ablation path only).
+func (t *Table) PinCount(id uint32) int32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) >= len(t.entries) {
+		return 0
+	}
+	return t.entries[id].Pins
+}
+
+// Live returns the number of allocated entries.
+func (t *Table) Live() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Peak returns the high-water mark of live entries.
+func (t *Table) Peak() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.peak
+}
+
+// Extent returns how many IDs the bump allocator has ever handed out; the
+// table's memory overhead is Extent() HTEs regardless of recycling.
+func (t *Table) Extent() uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bump
+}
+
+// ForEachLive calls fn for every allocated entry. The table lock is held
+// for the duration; fn must not call back into the table.
+func (t *Table) ForEachLive(fn func(id uint32, e Entry)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id := uint32(0); id < uint32(len(t.entries)); id++ {
+		if t.entries[id].Flags&FlagAllocated != 0 {
+			fn(id, t.entries[id])
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package ir defines the compiler intermediate representation the Alaska
+// passes operate on: a control-flow graph of instructions in virtual-
+// register form, with the analyses the paper's Algorithm 1 consumes —
+// dominator trees, a natural-loop forest (with guaranteed preheaders, the
+// equivalent of LLVM's -loop-simplify), liveness, and the pointer-flow
+// graph.
+//
+// The IR deliberately mirrors the subset of LLVM IR the paper's
+// transformation touches: loads and stores take an address operand;
+// getelementptr (OpGEP) and phi (OpPhi) are the "transient" operations
+// through which pointer-ness flows; calls may allocate (malloc/free) or
+// escape pointers to external code; and the Alaska passes insert
+// OpTranslate, OpRelease, and OpSafepoint.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the coarse value type the pointer-flow analysis needs: it only
+// distinguishes pointer-typed values from everything else.
+type Type int
+
+const (
+	// Int is any non-pointer value.
+	Int Type = iota
+	// Ptr marks values that may hold an address (and so, after the Alaska
+	// transformation, may hold a handle).
+	Ptr
+)
+
+// Op enumerates instruction opcodes.
+type Op int
+
+const (
+	// OpConst materializes an integer constant.
+	OpConst Op = iota
+	// OpParam reads the i'th function parameter (Const field holds i).
+	OpParam
+	// OpBin is a binary ALU operation; Sub field selects the operator.
+	OpBin
+	// OpCmp compares two values; Sub field selects the predicate.
+	OpCmp
+	// OpPhi merges values at a join point; Args align with Block.Preds.
+	OpPhi
+	// OpGEP displaces a pointer: Args[0] is the base, Args[1] the byte
+	// offset. Like LLVM's getelementptr it is transient for pointer flow.
+	OpGEP
+	// OpLoad reads from memory: Args[0] is the address. The Ty field is
+	// the type of the loaded value (a load may itself produce a pointer —
+	// that is what makes linked structures unhoistable).
+	OpLoad
+	// OpStore writes memory: Args[0] is the address, Args[1] the value.
+	OpStore
+	// OpAlloc is a call to malloc (after the Alaska allocation-replacement
+	// pass, halloc): Args[0] is the size in bytes. Produces a Ptr.
+	OpAlloc
+	// OpFree releases Args[0].
+	OpFree
+	// OpCall invokes the function named Callee with Args. External callees
+	// (not defined in the module) are what the escape pass guards.
+	OpCall
+	// OpRet returns; Args[0] is the optional return value.
+	OpRet
+	// OpBr branches unconditionally to Targets[0].
+	OpBr
+	// OpCondBr branches to Targets[0] if Args[0] != 0, else Targets[1].
+	OpCondBr
+	// OpTranslate is inserted by the Alaska compiler: Args[0] is a value
+	// that may be a handle; the result is the raw address. Slot is the pin
+	// set slot assigned by the tracking pass.
+	OpTranslate
+	// OpRelease marks the end of a translation's lifetime. Inserted from
+	// liveness information and removed again before execution (§4.1.2);
+	// it exists to delimit pin live ranges for slot assignment.
+	OpRelease
+	// OpSafepoint is a poll point (loop back edges, function entries,
+	// before external calls).
+	OpSafepoint
+)
+
+// Binary operator codes for OpBin's Sub field.
+const (
+	BinAdd = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+)
+
+// Comparison predicates for OpCmp's Sub field.
+const (
+	CmpEQ = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// Instr is a single instruction. Instructions double as values: an
+// instruction's result is referenced by pointing at the instruction.
+type Instr struct {
+	ID    int // dense per-function value number
+	Op    Op
+	Sub   int // operator/predicate selector for OpBin/OpCmp
+	Ty    Type
+	Args  []*Instr
+	Const int64
+	// Callee names the target of OpCall.
+	Callee string
+	// Targets holds successor blocks for OpBr/OpCondBr.
+	Targets []*Block
+	// Block is the containing basic block.
+	Block *Block
+	// Slot is the pin-set slot for OpTranslate (assigned by the tracking
+	// pass; -1 until then).
+	Slot int
+}
+
+// Block is a basic block.
+type Block struct {
+	Name   string
+	Fn     *Func
+	Instrs []*Instr
+	Preds  []*Block
+	// Index is the block's position in Fn.Blocks.
+	Index int
+}
+
+// Func is a function: a CFG with an entry block (Blocks[0]).
+type Func struct {
+	Name    string
+	NParams int
+	// ParamTypes gives each parameter's Type (defaults to Int).
+	ParamTypes []Type
+	Blocks     []*Block
+	nextID     int
+	// PinSetSize is the pin-set slot count computed by the tracking pass.
+	PinSetSize int
+}
+
+// Module is a collection of functions. Callees not defined in the module
+// are external.
+type Module struct {
+	Funcs []*Func
+}
+
+// Lookup returns the function named name, or nil.
+func (m *Module) Lookup(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the module's static instruction count — the code-size
+// metric behind the paper's Q2 (executable growth).
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// NewFunc creates a function with nparams integer parameters and an entry
+// block.
+func NewFunc(name string, nparams int) *Func {
+	f := &Func{Name: name, NParams: nparams, ParamTypes: make([]Type, nparams)}
+	f.NewBlock("entry")
+	return f
+}
+
+// NewBlock appends a new basic block.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: name, Fn: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NumValues returns an upper bound on instruction IDs, for dense tables.
+func (f *Func) NumValues() int { return f.nextID }
+
+// newInstr allocates an instruction bound to the function.
+func (f *Func) newInstr(op Op) *Instr {
+	i := &Instr{ID: f.nextID, Op: op, Slot: -1}
+	f.nextID++
+	return i
+}
+
+// NewRawInstr allocates a fresh instruction with a dense ID but does not
+// place it in any block; callers (compiler passes) insert it explicitly.
+func (f *Func) NewRawInstr(op Op) *Instr { return f.newInstr(op) }
+
+// Term returns the block's terminator, or nil if the block is unterminated.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	switch last.Op {
+	case OpBr, OpCondBr, OpRet:
+		return last
+	}
+	return nil
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// append adds an instruction to the block body (before any terminator
+// would be; callers must not append past a terminator).
+func (b *Block) append(i *Instr) *Instr {
+	i.Block = b
+	b.Instrs = append(b.Instrs, i)
+	return i
+}
+
+// InsertBefore inserts newI immediately before pos within the block.
+func (b *Block) InsertBefore(newI, pos *Instr) {
+	newI.Block = b
+	for k, in := range b.Instrs {
+		if in == pos {
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[k+1:], b.Instrs[k:])
+			b.Instrs[k] = newI
+			return
+		}
+	}
+	panic("ir: InsertBefore position not in block")
+}
+
+// InsertAfter inserts newI immediately after pos within the block.
+func (b *Block) InsertAfter(newI, pos *Instr) {
+	newI.Block = b
+	for k, in := range b.Instrs {
+		if in == pos {
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[k+2:], b.Instrs[k+1:])
+			b.Instrs[k+1] = newI
+			return
+		}
+	}
+	panic("ir: InsertAfter position not in block")
+}
+
+// Remove deletes instruction i from the block.
+func (b *Block) Remove(i *Instr) {
+	for k, in := range b.Instrs {
+		if in == i {
+			b.Instrs = append(b.Instrs[:k], b.Instrs[k+1:]...)
+			i.Block = nil
+			return
+		}
+	}
+	panic("ir: Remove of instruction not in block")
+}
+
+// computePreds rebuilds all predecessor lists from terminators.
+func (f *Func) computePreds() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Finish recomputes derived CFG state (predecessors, block indices) after
+// construction or mutation. It must be called before running analyses.
+func (f *Func) Finish() {
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+	f.computePreds()
+}
+
+// Verify checks structural invariants: every block terminated exactly
+// once, phi arity matching predecessor count, operands defined in the same
+// function, and the entry block having no predecessors.
+func (f *Func) Verify() error {
+	f.Finish()
+	defined := make(map[*Instr]bool)
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			defined[i] = true
+		}
+	}
+	for bi, b := range f.Blocks {
+		if len(b.Instrs) == 0 || b.Term() == nil {
+			return fmt.Errorf("ir: %s: block %s not terminated", f.Name, b.Name)
+		}
+		for k, i := range b.Instrs {
+			if t := b.Instrs[k]; k != len(b.Instrs)-1 {
+				switch t.Op {
+				case OpBr, OpCondBr, OpRet:
+					return fmt.Errorf("ir: %s: terminator mid-block in %s", f.Name, b.Name)
+				}
+			}
+			if i.Op == OpPhi {
+				if len(i.Args) != len(b.Preds) {
+					return fmt.Errorf("ir: %s: phi arity %d != %d preds in %s",
+						f.Name, len(i.Args), len(b.Preds), b.Name)
+				}
+				if k > 0 && b.Instrs[k-1].Op != OpPhi {
+					return fmt.Errorf("ir: %s: phi not at block head in %s", f.Name, b.Name)
+				}
+			}
+			for _, a := range i.Args {
+				if a == nil {
+					return fmt.Errorf("ir: %s: nil operand of v%d in %s", f.Name, i.ID, b.Name)
+				}
+				if !defined[a] {
+					return fmt.Errorf("ir: %s: operand v%d of v%d not defined in function",
+						f.Name, a.ID, i.ID)
+				}
+			}
+		}
+		if bi == 0 && len(b.Preds) != 0 {
+			return fmt.Errorf("ir: %s: entry block has predecessors", f.Name)
+		}
+	}
+	return nil
+}
+
+// Verify checks every function in the module.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// opNames maps opcodes to their printed mnemonics.
+var opNames = map[Op]string{
+	OpConst: "const", OpParam: "param", OpBin: "bin", OpCmp: "cmp",
+	OpPhi: "phi", OpGEP: "gep", OpLoad: "load", OpStore: "store",
+	OpAlloc: "alloc", OpFree: "free", OpCall: "call", OpRet: "ret",
+	OpBr: "br", OpCondBr: "condbr", OpTranslate: "translate",
+	OpRelease: "release", OpSafepoint: "safepoint",
+}
+
+// String renders the instruction for diagnostics.
+func (i *Instr) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d = %s", i.ID, opNames[i.Op])
+	if i.Op == OpConst || i.Op == OpParam {
+		fmt.Fprintf(&sb, " %d", i.Const)
+	}
+	if i.Op == OpCall {
+		fmt.Fprintf(&sb, " @%s", i.Callee)
+	}
+	for _, a := range i.Args {
+		fmt.Fprintf(&sb, " v%d", a.ID)
+	}
+	for _, t := range i.Targets {
+		fmt.Fprintf(&sb, " %%%s", t.Name)
+	}
+	if i.Op == OpTranslate && i.Slot >= 0 {
+		fmt.Fprintf(&sb, " [slot %d]", i.Slot)
+	}
+	return sb.String()
+}
+
+// String renders the function as readable pseudo-IR.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%d params)", f.Name, f.NParams)
+	if f.PinSetSize > 0 {
+		fmt.Fprintf(&sb, " pinset=%d", f.PinSetSize)
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, i := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", i.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,223 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"alaska/internal/anchorage"
+)
+
+func TestSessionOffsetAccess(t *testing.T) {
+	anch, err := NewAnchorageBackend(anchorage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string]Backend{
+		"baseline": NewMallocBackend(), "mesh": NewMeshBackend(3), "anchorage": anch,
+	} {
+		t.Run(name, func(t *testing.T) {
+			sess := b.NewSession()
+			defer sess.Close()
+			ref, err := b.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Write(ref, 16, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 5)
+			if err := sess.Read(ref, 16, got); err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "hello" {
+				t.Errorf("read %q", got)
+			}
+			// Offset 0 unaffected by offset-16 write beyond byte ranges.
+			head := make([]byte, 16)
+			if err := sess.Read(ref, 0, head); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range head {
+				if c != 0 {
+					t.Errorf("head byte %d nonzero", c)
+				}
+			}
+			if err := b.Free(ref, 64); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAnchorageSessionOutOfBoundsRejected(t *testing.T) {
+	anch, err := NewAnchorageBackend(anchorage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := anch.NewSession()
+	defer sess.Close()
+	ref, err := anch.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pin path checks the intra-object offset against the HTE size —
+	// the §3.2 in-bounds assumption, enforced.
+	if err := sess.Write(ref, 64, []byte{1}); err == nil {
+		t.Error("out-of-bounds session write accepted")
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	anch, err := NewAnchorageBackend(anchorage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, b := range map[string]Backend{
+		"baseline":     NewMallocBackend(),
+		"activedefrag": NewActiveDefragBackend(),
+		"mesh":         NewMeshBackend(1),
+		"anchorage":    anch,
+	} {
+		if got := b.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestActiveDefragNeedsIterator(t *testing.T) {
+	b := NewActiveDefragBackend()
+	// Without an application iterator nothing can move: Maintain is a
+	// no-op — the point of the activedefrag comparison.
+	if p := b.Maintain(time.Second); p != 0 {
+		t.Errorf("Maintain without iterator paused %v", p)
+	}
+	if b.Moved != 0 {
+		t.Error("moved objects without application knowledge")
+	}
+}
+
+func TestActiveDefragHonoursMinFrag(t *testing.T) {
+	b := NewActiveDefragBackend()
+	b.MinFrag = 1000 // never triggers
+	s := NewStore(b, 0)
+	for i := 0; i < 100; i++ {
+		if err := s.Set(string(rune('a'+i%26))+string(rune('0'+i/26)), bytes.Repeat([]byte{1}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Maintain(time.Second)
+	if b.Moved != 0 {
+		t.Error("defragged below the fragmentation threshold")
+	}
+}
+
+func TestMeshBackendMaintainMeshes(t *testing.T) {
+	b := NewMeshBackend(11)
+	s := NewStore(b, 0)
+	// Create sparse spans.
+	var keys []string
+	for i := 0; i < 512; i++ {
+		k := string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		if err := s.Set(k, bytes.Repeat([]byte{byte(i)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	for i, k := range keys {
+		if i%8 != 0 {
+			if _, err := s.Del(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := b.RSS()
+	var now time.Duration
+	for i := 0; i < 50; i++ {
+		now += b.MeshInterval
+		b.Maintain(now)
+	}
+	if b.A.MeshCount == 0 {
+		t.Error("maintain never meshed")
+	}
+	if b.RSS() >= before {
+		t.Errorf("RSS %d -> %d after meshing", before, b.RSS())
+	}
+}
+
+func TestAnchorageBackendMaintainDrivesController(t *testing.T) {
+	cfg := anchorage.DefaultConfig()
+	cfg.SubHeapSize = 64 * 1024
+	cfg.FragHigh = 1.3
+	cfg.FragLow = 1.05
+	b, err := NewAnchorageBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(b, 0)
+	// Fragment.
+	var keys []string
+	for i := 0; i < 2000; i++ {
+		k := string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		if err := s.Set(k, bytes.Repeat([]byte{byte(i)}, 400)); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	for i, k := range keys {
+		if i%5 != 0 {
+			if _, err := s.Del(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var now time.Duration
+	var paused time.Duration
+	for i := 0; i < 100; i++ {
+		now += 200 * time.Millisecond
+		paused += s.Maintain(now)
+	}
+	if b.Svc.Passes == 0 {
+		t.Error("controller never ran a pass")
+	}
+	if paused == 0 {
+		t.Error("no pause time recorded")
+	}
+	// Survivors intact.
+	for i, k := range keys {
+		if i%5 != 0 {
+			continue
+		}
+		v, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			t.Fatalf("key %q lost", k)
+		}
+		for _, c := range v {
+			if c != byte(i) {
+				t.Fatalf("key %q corrupted", k)
+			}
+		}
+	}
+}
+
+func TestStoreUsedBytesTracksBackend(t *testing.T) {
+	s := NewStore(NewMallocBackend(), 0)
+	if err := s.Set("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b", make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UsedBytes(); got != 300 {
+		t.Errorf("UsedBytes = %d, want 300", got)
+	}
+	if _, err := s.Del("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UsedBytes(); got != 200 {
+		t.Errorf("UsedBytes = %d, want 200", got)
+	}
+}

@@ -1,0 +1,120 @@
+package kv
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// ShardedStore is the memcached-like concurrent store used by the
+// Figure 12 experiment: a fixed set of mutex-protected shards, accessed by
+// worker goroutines that each hold their own Session (and, under Alaska,
+// their own runtime thread with pin sets and safepoints).
+type ShardedStore struct {
+	backend Backend
+	shards  []*shard
+	// MaxMemoryPerShard caps each shard's byte usage (0 = unlimited).
+	MaxMemoryPerShard uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	index map[string]*entry
+	lru   *list.List
+	used  uint64
+}
+
+// NewShardedStore builds a store with n shards.
+func NewShardedStore(b Backend, n int, maxPerShard uint64) *ShardedStore {
+	st := &ShardedStore{backend: b, MaxMemoryPerShard: maxPerShard}
+	for i := 0; i < n; i++ {
+		st.shards = append(st.shards, &shard{index: make(map[string]*entry), lru: list.New()})
+	}
+	return st
+}
+
+// Backend returns the underlying backend.
+func (s *ShardedStore) Backend() Backend { return s.backend }
+
+// NewSession opens a worker session.
+func (s *ShardedStore) NewSession() Session { return s.backend.NewSession() }
+
+func (s *ShardedStore) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Set stores key=value through the worker's session.
+func (s *ShardedStore) Set(sess Session, key string, value []byte) error {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.index[key]; ok {
+		sh.used -= old.size
+		_ = s.backend.Free(old.ref, old.size)
+		sh.lru.Remove(old.el)
+		delete(sh.index, key)
+	}
+	if s.MaxMemoryPerShard > 0 {
+		for sh.used+uint64(len(value)) > s.MaxMemoryPerShard {
+			back := sh.lru.Back()
+			if back == nil {
+				break
+			}
+			e := back.Value.(*entry)
+			sh.used -= e.size
+			_ = s.backend.Free(e.ref, e.size)
+			sh.lru.Remove(e.el)
+			delete(sh.index, e.key)
+		}
+	}
+	ref, err := s.backend.Alloc(uint64(len(value)))
+	if err != nil {
+		return fmt.Errorf("kv: sharded set %q: %w", key, err)
+	}
+	if err := sess.Write(ref, 0, value); err != nil {
+		return err
+	}
+	e := &entry{key: key, ref: ref, size: uint64(len(value))}
+	e.el = sh.lru.PushFront(e)
+	sh.index[key] = e
+	sh.used += e.size
+	return nil
+}
+
+// Get reads key through the worker's session; nil if absent.
+func (s *ShardedStore) Get(sess Session, key string) ([]byte, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.index[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, nil
+	}
+	ref, size := e.ref, e.size
+	sh.lru.MoveToFront(e.el)
+	sh.mu.Unlock()
+	// The read happens outside the shard lock; under Alaska the session
+	// pins the handle for the copy, so a concurrent barrier cannot move
+	// the object mid-read. (A concurrent Del could free it — memcached
+	// item references solve this; our workloads never delete keys they
+	// concurrently read.)
+	buf := make([]byte, size)
+	if err := sess.Read(ref, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Len returns the total number of keys.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.index)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package kv
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// Store is the Redis-like single-threaded store: a key index over
+// heap-allocated values, a maxmemory limit, and LRU eviction. Keys live in
+// the Go-side index (modelling Redis's dict; the paper notes "Redis'
+// internal datastructures provide some overhead" — we track value storage,
+// which is what the fragmentation experiments churn).
+type Store struct {
+	backend Backend
+	session Session
+	// MaxMemory is the eviction threshold over UsedBytes (0 = unlimited).
+	MaxMemory uint64
+
+	index map[string]*entry
+	lru   *list.List // front = most recently used
+
+	// Evictions counts LRU evictions.
+	Evictions int64
+	// Sets and Gets count operations.
+	Sets, Gets int64
+}
+
+type entry struct {
+	key  string
+	ref  Ref
+	size uint64
+	el   *list.Element
+}
+
+// NewStore builds a store over the backend. For the Anchorage backend the
+// primary session is used so that Maintain can initiate barriers while the
+// store's thread is considered safe.
+func NewStore(b Backend, maxMemory uint64) *Store {
+	var s Session
+	if ab, ok := b.(*AnchorageBackend); ok {
+		s = ab.PrimarySession()
+	} else {
+		s = b.NewSession()
+	}
+	st := &Store{
+		backend:   b,
+		session:   s,
+		MaxMemory: maxMemory,
+		index:     make(map[string]*entry),
+		lru:       list.New(),
+	}
+	if ad, ok := b.(*ActiveDefragBackend); ok {
+		ad.Iterator = st.iterateRefs
+	}
+	return st
+}
+
+// Backend returns the store's backend.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.index) }
+
+// Set inserts or replaces key with value, evicting LRU entries as needed
+// to respect MaxMemory.
+func (s *Store) Set(key string, value []byte) error {
+	s.Sets++
+	if old, ok := s.index[key]; ok {
+		s.removeEntry(old)
+	}
+	// Evict-before-insert until the new value fits (Redis's
+	// freeMemoryIfNeeded).
+	if s.MaxMemory > 0 {
+		for s.backend.UsedBytes()+uint64(len(value)) > s.MaxMemory {
+			if !s.evictLRU() {
+				break
+			}
+		}
+	}
+	ref, err := s.backend.Alloc(uint64(len(value)))
+	if err != nil {
+		return fmt.Errorf("kv: set %q: %w", key, err)
+	}
+	if err := s.session.Write(ref, 0, value); err != nil {
+		return err
+	}
+	e := &entry{key: key, ref: ref, size: uint64(len(value))}
+	e.el = s.lru.PushFront(e)
+	s.index[key] = e
+	return nil
+}
+
+// Get returns a copy of key's value, or nil if absent.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.Gets++
+	e, ok := s.index[key]
+	if !ok {
+		return nil, nil
+	}
+	buf := make([]byte, e.size)
+	if err := s.session.Read(e.ref, 0, buf); err != nil {
+		return nil, err
+	}
+	s.lru.MoveToFront(e.el)
+	return buf, nil
+}
+
+// Del removes key, returning whether it existed.
+func (s *Store) Del(key string) (bool, error) {
+	e, ok := s.index[key]
+	if !ok {
+		return false, nil
+	}
+	s.removeEntry(e)
+	return true, nil
+}
+
+// removeEntry frees the entry's storage and unlinks it.
+func (s *Store) removeEntry(e *entry) {
+	_ = s.backend.Free(e.ref, e.size)
+	s.lru.Remove(e.el)
+	delete(s.index, e.key)
+}
+
+// evictLRU removes the least-recently-used entry; returns false when
+// nothing is left to evict.
+func (s *Store) evictLRU() bool {
+	back := s.lru.Back()
+	if back == nil {
+		return false
+	}
+	s.removeEntry(back.Value.(*entry))
+	s.Evictions++
+	return true
+}
+
+// Maintain advances the backend's background machinery to simulated time
+// now, returning pause time incurred. Call between operations.
+func (s *Store) Maintain(now time.Duration) time.Duration {
+	s.session.Safepoint()
+	return s.backend.Maintain(now)
+}
+
+// UsedBytes and RSS expose the backend metrics.
+func (s *Store) UsedBytes() uint64 { return s.backend.UsedBytes() }
+
+// RSS returns the backend's resident set size.
+func (s *Store) RSS() uint64 { return s.backend.RSS() }
+
+// iterateRefs is the application half of the activedefrag protocol: it
+// walks every live entry and lets the allocator relocate it, rewriting the
+// store's own reference. This function is the (mercifully small) Go
+// equivalent of the invasive pointer bookkeeping Redis had to add.
+func (s *Store) iterateRefs(visit func(ref Ref, size uint64, update func(Ref))) {
+	for _, e := range s.index {
+		e := e
+		visit(e.ref, e.size, func(n Ref) { e.ref = n })
+	}
+}

@@ -1,0 +1,407 @@
+// Package mem provides a simulated 64-bit virtual address space with
+// demand paging and resident-set accounting.
+//
+// Alaska (ASPLOS '24) measures fragmentation as the divergence between a
+// process's resident set size (physical pages the kernel has committed)
+// and the bytes its allocator considers live. Reproducing that in Go
+// requires a substrate where "virtual address", "page", "RSS", and
+// madvise(MADV_DONTNEED) are first-class, observable concepts. This
+// package is that substrate: every allocator and runtime component in the
+// repository performs its loads and stores against a Space, and the
+// experiment harnesses read Space.RSS() exactly where the paper reads
+// /proc/self/status.
+//
+// A Space hands out page-aligned virtual regions (Map), tracks which 4 KiB
+// pages have been touched (a page becomes resident on first write or read),
+// and supports returning pages to the simulated kernel (DontNeed), which
+// zeroes them and removes them from the resident set — precisely the
+// semantics Anchorage relies on in §4.3 of the paper.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the simulated hardware page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Addr is a simulated virtual address. Address zero is never mapped, so it
+// can serve as the null pointer.
+type Addr uint64
+
+// baseStart is the first virtual address handed out by Map. Leaving a guard
+// gap below it means small integers can never alias a mapped address.
+const baseStart Addr = 0x0000_1000_0000
+
+// A Region is a contiguous page-aligned virtual mapping inside a Space.
+type Region struct {
+	space    *Space
+	base     Addr
+	size     uint64 // bytes, multiple of PageSize
+	data     []byte
+	resident []bool // one entry per page
+	nRes     int    // number of resident pages
+}
+
+// Space is a simulated process address space. All methods are safe for
+// concurrent use.
+type Space struct {
+	mu       sync.RWMutex
+	regions  []*Region // sorted by base
+	nextBase Addr
+	rssPages int64
+
+	// faults counts demand-paging events (first touch of a page), which is
+	// useful for tests asserting that DontNeed actually released pages.
+	faults int64
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{nextBase: baseStart}
+}
+
+// roundUpPage rounds n up to a multiple of PageSize.
+func roundUpPage(n uint64) uint64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// Map reserves a new virtual region of at least size bytes (rounded up to a
+// page multiple) and returns it. The region's pages are not resident until
+// touched, mirroring anonymous mmap.
+func (s *Space) Map(size uint64) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: Map of zero bytes")
+	}
+	size = roundUpPage(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.nextBase
+	// Leave a one-page guard gap between regions so out-of-bounds addresses
+	// fault instead of silently landing in a neighbour.
+	s.nextBase += Addr(size) + PageSize
+	r := &Region{
+		space:    s,
+		base:     base,
+		size:     size,
+		data:     make([]byte, size),
+		resident: make([]bool, size/PageSize),
+	}
+	s.regions = append(s.regions, r)
+	return r, nil
+}
+
+// MapAt reserves a region at a caller-chosen base address. Alaska places its
+// handle table at a fixed virtual address so translation need not mask the
+// top handle bit (§4.2.1); MapAt lets the runtime do the same. The base must
+// be page-aligned and must not overlap an existing region.
+func (s *Space) MapAt(base Addr, size uint64) (*Region, error) {
+	if base == 0 || uint64(base)%PageSize != 0 {
+		return nil, fmt.Errorf("mem: MapAt base %#x not page aligned", base)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("mem: MapAt of zero bytes")
+	}
+	size = roundUpPage(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.regions {
+		if base < r.base+Addr(r.size) && r.base < base+Addr(size) {
+			return nil, fmt.Errorf("mem: MapAt [%#x,%#x) overlaps region [%#x,%#x)",
+				base, base+Addr(size), r.base, r.base+Addr(r.size))
+		}
+	}
+	r := &Region{
+		space:    s,
+		base:     base,
+		size:     size,
+		data:     make([]byte, size),
+		resident: make([]bool, size/PageSize),
+	}
+	s.regions = append(s.regions, r)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].base < s.regions[j].base })
+	if base+Addr(size) > s.nextBase {
+		s.nextBase = base + Addr(size) + PageSize
+	}
+	return r, nil
+}
+
+// Unmap removes a region from the space, releasing its resident pages.
+func (s *Space) Unmap(r *Region) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, got := range s.regions {
+		if got == r {
+			s.rssPages -= int64(r.nRes)
+			r.nRes = 0
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			r.space = nil
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: Unmap of region not in space")
+}
+
+// find returns the region containing addr, or nil. Caller holds s.mu (read).
+func (s *Space) find(addr Addr) *Region {
+	// Binary search over sorted regions.
+	lo, hi := 0, len(s.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := s.regions[mid]
+		switch {
+		case addr < r.base:
+			hi = mid
+		case addr >= r.base+Addr(r.size):
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}
+
+// Resolve returns the region containing addr and the byte offset within it.
+func (s *Space) Resolve(addr Addr) (*Region, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.find(addr)
+	if r == nil {
+		return nil, 0, &Fault{Addr: addr, Op: "resolve"}
+	}
+	return r, uint64(addr - r.base), nil
+}
+
+// Fault is the error returned for accesses to unmapped addresses — the
+// simulated equivalent of SIGSEGV.
+type Fault struct {
+	Addr Addr
+	Op   string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault at unmapped address %#x", f.Op, f.Addr)
+}
+
+// touch marks all pages overlapping [off, off+n) resident.
+// Caller holds s.mu (read) — page accounting uses the region's own fields,
+// so we upgrade via atomic-free double-check under the space lock by
+// requiring callers that mutate residency to hold the write lock. To keep
+// the locking simple and correct, all touching methods take the write lock.
+func (r *Region) touch(off, n uint64) {
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if !r.resident[p] {
+			r.resident[p] = true
+			r.nRes++
+			r.space.rssPages++
+			r.space.faults++
+		}
+	}
+}
+
+// access validates an n-byte access at addr and returns the region and
+// offset with pages made resident. It is the common path for loads/stores.
+func (s *Space) access(addr Addr, n uint64, op string) (*Region, uint64, error) {
+	if n == 0 {
+		return nil, 0, fmt.Errorf("mem: zero-length %s at %#x", op, addr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.find(addr)
+	if r == nil {
+		return nil, 0, &Fault{Addr: addr, Op: op}
+	}
+	off := uint64(addr - r.base)
+	if off+n > r.size {
+		return nil, 0, &Fault{Addr: addr + Addr(r.size-off), Op: op}
+	}
+	r.touch(off, n)
+	return r, off, nil
+}
+
+// Write copies b into the space at addr.
+func (s *Space) Write(addr Addr, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	r, off, err := s.access(addr, uint64(len(b)), "write")
+	if err != nil {
+		return err
+	}
+	copy(r.data[off:], b)
+	return nil
+}
+
+// Read copies len(b) bytes from the space at addr into b.
+func (s *Space) Read(addr Addr, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	r, off, err := s.access(addr, uint64(len(b)), "read")
+	if err != nil {
+		return err
+	}
+	copy(b, r.data[off:])
+	return nil
+}
+
+// WriteU64 stores a 64-bit little-endian word at addr.
+func (s *Space) WriteU64(addr Addr, v uint64) error {
+	r, off, err := s.access(addr, 8, "write")
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(r.data[off:], v)
+	return nil
+}
+
+// ReadU64 loads a 64-bit little-endian word from addr.
+func (s *Space) ReadU64(addr Addr) (uint64, error) {
+	r, off, err := s.access(addr, 8, "read")
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(r.data[off:]), nil
+}
+
+// WriteU32 stores a 32-bit little-endian word at addr.
+func (s *Space) WriteU32(addr Addr, v uint32) error {
+	r, off, err := s.access(addr, 4, "write")
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(r.data[off:], v)
+	return nil
+}
+
+// ReadU32 loads a 32-bit little-endian word from addr.
+func (s *Space) ReadU32(addr Addr) (uint32, error) {
+	r, off, err := s.access(addr, 4, "read")
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(r.data[off:]), nil
+}
+
+// WriteU8 stores one byte at addr.
+func (s *Space) WriteU8(addr Addr, v uint8) error {
+	r, off, err := s.access(addr, 1, "write")
+	if err != nil {
+		return err
+	}
+	r.data[off] = v
+	return nil
+}
+
+// ReadU8 loads one byte from addr.
+func (s *Space) ReadU8(addr Addr) (uint8, error) {
+	r, off, err := s.access(addr, 1, "read")
+	if err != nil {
+		return 0, err
+	}
+	return r.data[off], nil
+}
+
+// Copy moves n bytes from src to dst within the space, handling overlap the
+// way memmove does. It is the primitive object relocation is built on.
+func (s *Space) Copy(dst, src Addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	sr, soff, err := s.access(src, n, "read")
+	if err != nil {
+		return err
+	}
+	dr, doff, err := s.access(dst, n, "write")
+	if err != nil {
+		return err
+	}
+	copy(dr.data[doff:doff+n], sr.data[soff:soff+n])
+	return nil
+}
+
+// DontNeed releases whole pages fully contained in [addr, addr+n) back to
+// the simulated kernel: the pages are zeroed and leave the resident set.
+// Partially covered pages at either end are left untouched, matching
+// madvise(MADV_DONTNEED) semantics for anonymous memory.
+func (s *Space) DontNeed(addr Addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.find(addr)
+	if r == nil {
+		return &Fault{Addr: addr, Op: "madvise"}
+	}
+	off := uint64(addr - r.base)
+	if off+n > r.size {
+		return &Fault{Addr: addr + Addr(r.size-off), Op: "madvise"}
+	}
+	// Round the start up and the end down to page boundaries.
+	start := (off + PageSize - 1) &^ (PageSize - 1)
+	end := (off + n) &^ (PageSize - 1)
+	for p := start; p+PageSize <= end; p += PageSize {
+		pi := p / PageSize
+		if r.resident[pi] {
+			r.resident[pi] = false
+			r.nRes--
+			s.rssPages--
+		}
+		clear(r.data[p : p+PageSize])
+	}
+	return nil
+}
+
+// RSS returns the resident set size of the space in bytes.
+func (s *Space) RSS() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(s.rssPages) * PageSize
+}
+
+// Faults returns the cumulative count of demand-paging events.
+func (s *Space) Faults() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults
+}
+
+// NumRegions returns the number of live mappings.
+func (s *Space) NumRegions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.regions)
+}
+
+// Base returns the region's base address.
+func (r *Region) Base() Addr { return r.base }
+
+// Size returns the region's size in bytes.
+func (r *Region) Size() uint64 { return r.size }
+
+// ResidentPages returns how many of the region's pages are resident.
+func (r *Region) ResidentPages() int {
+	if r.space == nil {
+		return 0
+	}
+	r.space.mu.RLock()
+	defer r.space.mu.RUnlock()
+	return r.nRes
+}
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr Addr) bool {
+	return addr >= r.base && addr < r.base+Addr(r.size)
+}
+
+// End returns one past the region's last byte.
+func (r *Region) End() Addr { return r.base + Addr(r.size) }

@@ -1,0 +1,289 @@
+// Package mesh implements a Mesh-style compacting allocator (Powers et
+// al., PLDI '19), the paper's closest related work and a comparator in its
+// Figure 9/11 experiments.
+//
+// Mesh cannot move objects (virtual addresses are forever); instead it
+// places same-size-class objects on page-sized spans with randomized slot
+// choice, then finds pairs of spans whose occupancy bitmaps are disjoint
+// and "meshes" them: both virtual pages are remapped to one physical page,
+// halving their resident cost. This reproduction performs the same
+// randomized pairing over real occupancy bitmaps and enforces the
+// disjointness precondition, but models the physical sharing at the
+// accounting level: data stays at its unchanged virtual address (exactly
+// what real Mesh guarantees the application sees) and RSS() counts each
+// meshed group once. That is the quantity Figure 9 plots.
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alaska/internal/mem"
+)
+
+// classes are the supported size classes (one span holds one class).
+var classes = []uint64{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+const spanSize = mem.PageSize
+
+// physGroup is a set of spans sharing one physical page after meshing.
+type physGroup struct {
+	spans []*span
+}
+
+// used reports whether any span in the group holds live objects.
+func (g *physGroup) used() bool {
+	for _, s := range g.spans {
+		if s.nUsed > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// span is one virtual page serving a single size class.
+type span struct {
+	base  mem.Addr
+	class int
+	slots int
+	used  []bool
+	nUsed int
+	group *physGroup
+}
+
+// disjoint reports whether two spans' occupancy bitmaps do not collide —
+// the meshing precondition.
+func disjoint(a, b *span) bool {
+	for i := range a.used {
+		if a.used[i] && b.used[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocator is the Mesh-style allocator.
+type Allocator struct {
+	space *mem.Space
+	rng   *rand.Rand
+
+	spans   [][]*span // per class
+	bySpan  map[mem.Addr]*span
+	large   map[mem.Addr]*mem.Region
+	largeSz map[mem.Addr]uint64
+	sizes   map[mem.Addr]uint64
+
+	active uint64
+	// MeshCount is the number of successful meshes performed.
+	MeshCount int64
+	// MaxHeap optionally caps the number of spans (modelling the 64 GiB
+	// limit the paper had to patch out of Mesh for Figure 11); 0 = none.
+	MaxHeap uint64
+}
+
+// New returns a Mesh allocator over space with a deterministic seed.
+func New(space *mem.Space, seed int64) *Allocator {
+	return &Allocator{
+		space:   space,
+		rng:     rand.New(rand.NewSource(seed)),
+		spans:   make([][]*span, len(classes)),
+		bySpan:  make(map[mem.Addr]*span),
+		large:   make(map[mem.Addr]*mem.Region),
+		largeSz: make(map[mem.Addr]uint64),
+		sizes:   make(map[mem.Addr]uint64),
+	}
+}
+
+func classFor(size uint64) int {
+	for i, c := range classes {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Alloc returns a block of at least size bytes. Slot choice within a span
+// is randomized, as Mesh requires for its meshing probability guarantees.
+func (a *Allocator) Alloc(size uint64) (mem.Addr, error) {
+	if size == 0 {
+		size = 1
+	}
+	ci := classFor(size)
+	if ci < 0 {
+		r, err := a.space.Map(size)
+		if err != nil {
+			return 0, err
+		}
+		a.large[r.Base()] = r
+		a.largeSz[r.Base()] = size
+		a.active += size
+		return r.Base(), nil
+	}
+	// Find a span with a free slot. Meshed spans (group size > 1) are
+	// retired from allocation: their free slots are occupied on the shared
+	// physical page by their mesh partners.
+	var sp *span
+	for _, s := range a.spans[ci] {
+		if s.nUsed < s.slots && len(s.group.spans) == 1 {
+			sp = s
+			break
+		}
+	}
+	if sp == nil {
+		if a.MaxHeap > 0 && a.SpanBytes() >= a.MaxHeap {
+			return 0, fmt.Errorf("mesh: heap cap %d bytes reached", a.MaxHeap)
+		}
+		r, err := a.space.Map(spanSize)
+		if err != nil {
+			return 0, err
+		}
+		n := int(spanSize / classes[ci])
+		sp = &span{base: r.Base(), class: ci, slots: n, used: make([]bool, n)}
+		sp.group = &physGroup{spans: []*span{sp}}
+		a.spans[ci] = append(a.spans[ci], sp)
+		a.bySpan[sp.base] = sp
+	}
+	// Random free slot.
+	k := a.rng.Intn(sp.slots - sp.nUsed)
+	slot := -1
+	for i, u := range sp.used {
+		if !u {
+			if k == 0 {
+				slot = i
+				break
+			}
+			k--
+		}
+	}
+	sp.used[slot] = true
+	sp.nUsed++
+	addr := sp.base + mem.Addr(uint64(slot)*classes[sp.class])
+	a.sizes[addr] = size
+	a.active += size
+	return addr, nil
+}
+
+// Free releases the block at addr.
+func (a *Allocator) Free(addr mem.Addr) error {
+	if r, ok := a.large[addr]; ok {
+		a.active -= a.largeSz[addr]
+		delete(a.large, addr)
+		delete(a.largeSz, addr)
+		return a.space.Unmap(r)
+	}
+	size, ok := a.sizes[addr]
+	if !ok {
+		return fmt.Errorf("mesh: free of unknown address %#x", addr)
+	}
+	base := addr &^ (spanSize - 1)
+	sp := a.bySpan[base]
+	if sp == nil {
+		return fmt.Errorf("mesh: address %#x has no span", addr)
+	}
+	slot := int(uint64(addr-base) / classes[sp.class])
+	if !sp.used[slot] {
+		return fmt.Errorf("mesh: double free at %#x", addr)
+	}
+	sp.used[slot] = false
+	sp.nUsed--
+	delete(a.sizes, addr)
+	a.active -= size
+	if sp.nUsed == 0 {
+		// Empty page: return it to the kernel (Mesh purges empty spans).
+		_ = a.space.DontNeed(sp.base, spanSize)
+	}
+	return nil
+}
+
+// Mesh runs one randomized meshing round per class: up to `probes` random
+// span pairs are tested for bitmap disjointness and merged when
+// compatible. Returns the number of pages freed.
+func (a *Allocator) Mesh(probes int) int {
+	freed := 0
+	for ci := range classes {
+		list := a.spans[ci]
+		if len(list) < 2 {
+			continue
+		}
+		for p := 0; p < probes; p++ {
+			x := list[a.rng.Intn(len(list))]
+			y := list[a.rng.Intn(len(list))]
+			if x == y || x.group == y.group {
+				continue
+			}
+			if x.nUsed == 0 || y.nUsed == 0 {
+				continue // empty spans are already purged
+			}
+			// Meshing requires pairwise disjointness across the whole
+			// groups (every page sharing the physical frame).
+			ok := true
+			for _, sx := range x.group.spans {
+				for _, sy := range y.group.spans {
+					if !disjoint(sx, sy) {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Merge y's group into x's: one physical page now backs all.
+			merged := append(x.group.spans, y.group.spans...)
+			g := &physGroup{spans: merged}
+			for _, s := range merged {
+				s.group = g
+			}
+			a.MeshCount++
+			freed++
+		}
+	}
+	return freed
+}
+
+// RSS returns the resident bytes under Mesh's page-sharing accounting:
+// each physical group with live data costs one page; large objects cost
+// their mapped size.
+func (a *Allocator) RSS() uint64 {
+	seen := make(map[*physGroup]bool)
+	var pages uint64
+	for _, list := range a.spans {
+		for _, s := range list {
+			if s.group != nil && !seen[s.group] {
+				seen[s.group] = true
+				if s.group.used() {
+					pages++
+				}
+			}
+		}
+	}
+	var largeBytes uint64
+	for _, r := range a.large {
+		largeBytes += r.Size()
+	}
+	return pages*mem.PageSize + largeBytes
+}
+
+// SpanBytes returns the virtual bytes held in spans.
+func (a *Allocator) SpanBytes() uint64 {
+	var n uint64
+	for _, list := range a.spans {
+		n += uint64(len(list)) * spanSize
+	}
+	return n
+}
+
+// ActiveBytes returns live requested bytes.
+func (a *Allocator) ActiveBytes() uint64 { return a.active }
+
+// UsableSize returns the class size of the block at addr.
+func (a *Allocator) UsableSize(addr mem.Addr) uint64 {
+	if s, ok := a.largeSz[addr]; ok {
+		return s
+	}
+	base := addr &^ (spanSize - 1)
+	if sp := a.bySpan[base]; sp != nil {
+		return classes[sp.class]
+	}
+	return 0
+}

@@ -1,0 +1,249 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alaska/internal/mem"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	s := mem.NewSpace()
+	a := New(s, 1)
+	p, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteU64(p, 77); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.ReadU64(p)
+	if v != 77 {
+		t.Errorf("read %d", v)
+	}
+	if a.UsableSize(p) != 128 {
+		t.Errorf("UsableSize = %d, want 128", a.UsableSize(p))
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestEmptySpanPurged(t *testing.T) {
+	s := mem.NewSpace()
+	a := New(s, 1)
+	var ptrs []mem.Addr
+	for i := 0; i < 4; i++ { // one 1024-class span holds 4
+		p, _ := a.Alloc(1024)
+		ptrs = append(ptrs, p)
+	}
+	if a.RSS() == 0 {
+		t.Fatal("no RSS for live span")
+	}
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.RSS() != 0 {
+		t.Errorf("RSS after emptying = %d, want 0", a.RSS())
+	}
+}
+
+// The headline Mesh behaviour: fragmented spans with disjoint bitmaps mesh
+// and RSS drops without any virtual address changing.
+func TestMeshingReducesRSS(t *testing.T) {
+	s := mem.NewSpace()
+	a := New(s, 7)
+	// Allocate many 512-byte objects (8 per span), then free most to
+	// leave sparse spans.
+	var ptrs []mem.Addr
+	for i := 0; i < 512; i++ {
+		p, err := a.Alloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteU64(p, uint64(p)); err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var live []mem.Addr
+	for _, p := range ptrs {
+		if rng.Intn(8) == 0 {
+			live = append(live, p)
+			continue
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.RSS()
+	for i := 0; i < 50; i++ {
+		a.Mesh(64)
+	}
+	after := a.RSS()
+	if a.MeshCount == 0 {
+		t.Fatal("no meshes happened on a sparse heap")
+	}
+	if after >= before {
+		t.Errorf("meshing did not reduce RSS: %d -> %d", before, after)
+	}
+	// Virtual addresses unchanged; contents intact.
+	for _, p := range live {
+		v, err := s.ReadU64(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(p) {
+			t.Errorf("object at %#x corrupted after meshing", p)
+		}
+	}
+}
+
+func TestMeshRequiresDisjointBitmaps(t *testing.T) {
+	s := mem.NewSpace()
+	a := New(s, 99)
+	// Fill two full spans of the same class: bitmaps fully overlap, so no
+	// mesh is possible.
+	for i := 0; i < 8; i++ {
+		if _, err := a.Alloc(512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.RSS()
+	a.Mesh(256)
+	if a.MeshCount != 0 {
+		t.Error("meshed overlapping spans")
+	}
+	if a.RSS() != before {
+		t.Error("RSS changed without meshing")
+	}
+}
+
+func TestMeshedGroupOccupancyInvariant(t *testing.T) {
+	// After any meshing sequence, every group's spans must remain
+	// pairwise disjoint (one physical page can hold them all).
+	s := mem.NewSpace()
+	a := New(s, 5)
+	rng := rand.New(rand.NewSource(11))
+	var live []mem.Addr
+	for step := 0; step < 2000; step++ {
+		switch {
+		case len(live) > 0 && rng.Intn(3) == 0:
+			k := rng.Intn(len(live))
+			if err := a.Free(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		case rng.Intn(50) == 0:
+			a.Mesh(16)
+		default:
+			p, err := a.Alloc(uint64(16 + rng.Intn(1500)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+	}
+	seen := make(map[*physGroup]bool)
+	for _, list := range a.spans {
+		for _, sp := range list {
+			g := sp.group
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			for i := 0; i < len(g.spans); i++ {
+				for j := i + 1; j < len(g.spans); j++ {
+					if !disjoint(g.spans[i], g.spans[j]) {
+						t.Fatal("meshed group has colliding occupancy")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHeapCap(t *testing.T) {
+	s := mem.NewSpace()
+	a := New(s, 1)
+	a.MaxHeap = 4 * mem.PageSize
+	var err error
+	for i := 0; i < 1000; i++ {
+		if _, err = a.Alloc(2048); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("heap cap never enforced")
+	}
+}
+
+func TestLargeObjects(t *testing.T) {
+	s := mem.NewSpace()
+	a := New(s, 1)
+	p, err := a.Alloc(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsableSize(p) != 100_000 {
+		t.Errorf("UsableSize = %d", a.UsableSize(p))
+	}
+	if a.RSS() < 100_000 {
+		t.Errorf("RSS %d does not include large object", a.RSS())
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.RSS() != 0 {
+		t.Errorf("RSS after large free = %d", a.RSS())
+	}
+}
+
+// Property: active-byte accounting matches the live set under random
+// workloads with interleaved meshing.
+func TestAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := mem.NewSpace()
+		a := New(s, seed)
+		live := make(map[mem.Addr]uint64)
+		var want uint64
+		for i := 0; i < 300; i++ {
+			switch {
+			case len(live) > 0 && rng.Intn(3) == 0:
+				for p, sz := range live {
+					if a.Free(p) != nil {
+						return false
+					}
+					want -= sz
+					delete(live, p)
+					break
+				}
+			case rng.Intn(20) == 0:
+				a.Mesh(8)
+			default:
+				sz := uint64(1 + rng.Intn(2048))
+				p, err := a.Alloc(sz)
+				if err != nil {
+					return false
+				}
+				if _, dup := live[p]; dup {
+					return false // address handed out twice
+				}
+				live[p] = sz
+				want += sz
+			}
+		}
+		return a.ActiveBytes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

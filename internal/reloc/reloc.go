@@ -1,0 +1,203 @@
+// Package reloc implements the concurrent (pause-free) relocation scheme
+// the paper sketches in §7: instead of stopping the world for the duration
+// of a move, the runtime marks an entry invalid, speculatively copies the
+// object elsewhere, and then tries to commit by atomically revalidating
+// the entry with the new address. Any thread that translates the handle
+// mid-copy traps to the runtime, which revalidates the entry in place —
+// aborting the move — and the access proceeds at the old location. The
+// mover observes the failed commit and discards its copy. This mirrors the
+// self-healing/forwarding race resolution of concurrent compactors like
+// Shenandoah, built from nothing but the handle table.
+package reloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"alaska/internal/mem"
+	"alaska/internal/rt"
+)
+
+// Allocator supplies destination memory for speculative copies. It is
+// deliberately separate from the runtime's service: a speculative copy
+// must not disturb the service's object bookkeeping until the move
+// commits.
+type Allocator interface {
+	Alloc(size uint64) (mem.Addr, error)
+	Free(addr mem.Addr, size uint64)
+}
+
+// RegionAllocator is a simple bump/free-list Allocator over one mapped
+// region, sufficient for relocation arenas.
+type RegionAllocator struct {
+	region *mem.Region
+	bump   uint64
+	free   map[uint64][]mem.Addr // by size
+}
+
+// NewRegionAllocator maps a size-byte arena in space.
+func NewRegionAllocator(space *mem.Space, size uint64) (*RegionAllocator, error) {
+	r, err := space.Map(size)
+	if err != nil {
+		return nil, err
+	}
+	return &RegionAllocator{region: r, free: make(map[uint64][]mem.Addr)}, nil
+}
+
+// Alloc implements Allocator.
+func (a *RegionAllocator) Alloc(size uint64) (mem.Addr, error) {
+	size = (size + 15) &^ 15
+	if lst := a.free[size]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		a.free[size] = lst[:len(lst)-1]
+		return addr, nil
+	}
+	if a.bump+size > a.region.Size() {
+		return 0, fmt.Errorf("reloc: arena exhausted")
+	}
+	addr := a.region.Base() + mem.Addr(a.bump)
+	a.bump += size
+	return addr, nil
+}
+
+// Free implements Allocator.
+func (a *RegionAllocator) Free(addr mem.Addr, size uint64) {
+	size = (size + 15) &^ 15
+	a.free[size] = append(a.free[size], addr)
+}
+
+// Owns reports whether addr lies inside this allocator's arena.
+func (a *RegionAllocator) Owns(addr mem.Addr) bool { return a.region.Contains(addr) }
+
+// Mover performs speculative concurrent moves.
+type Mover struct {
+	rt    *rt.Runtime
+	arena Allocator
+
+	// Commits and Aborts count move outcomes.
+	Commits atomic.Int64
+	Aborts  atomic.Int64
+
+	// pending holds old copies awaiting grace-period reclamation: a
+	// mutator may have translated the object just before the commit and
+	// still be using the old raw pointer until its next safepoint, so the
+	// memory can only be reused after every thread has crossed one — the
+	// handshake concurrent compactors perform before recycling from-space.
+	mu      sync.Mutex
+	pending []graceItem
+	// Reclaimed counts old copies recycled after their grace period.
+	Reclaimed atomic.Int64
+}
+
+type graceItem struct {
+	addr mem.Addr
+	size uint64
+	snap map[*rt.Thread]uint64
+}
+
+// NewMover builds a mover for the runtime using the given destination
+// arena. Install Handler (or chain it) as the runtime's fault handler so
+// concurrent accessors can abort in-flight moves.
+func NewMover(r *rt.Runtime, arena Allocator) *Mover {
+	return &Mover{rt: r, arena: arena}
+}
+
+// Handler returns the accessor-side fault handler: revalidate the entry in
+// place, aborting any in-flight move, and let the translation retry.
+func (m *Mover) Handler() rt.FaultHandler {
+	return func(r *rt.Runtime, id uint32) error {
+		_, err := r.Table.Revalidate(id)
+		return err
+	}
+}
+
+// TryMove speculatively relocates the object behind id into the arena. It
+// returns true if the move committed, false if a concurrent access aborted
+// it (the object stays where it was); both outcomes are correct. The
+// caller should only attempt objects it believes are unpinned — a pinned
+// object's raw pointers would dangle if the commit won, so TryMove must
+// run either inside a barrier with pin knowledge, or against objects whose
+// pin discipline the caller controls (see the concurrent tests).
+//
+// The data race the protocol tolerates: a mutator that already holds a
+// translated pointer keeps using the old copy; if it writes, the commit
+// losing those writes would be unsound, so callers must only move objects
+// with no outstanding raw pointers. New accesses during the copy fault and
+// abort the move, which is what makes the scheme safe without pauses.
+func (m *Mover) TryMove(id uint32) (bool, error) {
+	entry, err := m.rt.Table.BeginSpeculativeMove(id)
+	if err != nil {
+		return false, err
+	}
+	dst, err := m.arena.Alloc(entry.Size)
+	if err != nil {
+		// Roll back the moving state; nobody copied anything.
+		if _, rerr := m.rt.Table.Revalidate(id); rerr != nil {
+			return false, rerr
+		}
+		return false, err
+	}
+	if err := m.rt.Space.Copy(dst, entry.Backing, entry.Size); err != nil {
+		if _, rerr := m.rt.Table.Revalidate(id); rerr != nil {
+			return false, rerr
+		}
+		m.arena.Free(dst, entry.Size)
+		return false, err
+	}
+	if m.rt.Table.CommitSpeculativeMove(id, dst) {
+		m.Commits.Add(1)
+		// The old memory is unreferenced by the table, but a mutator that
+		// translated just before the commit may still read it until its
+		// next safepoint. If the arena owns it, queue it for grace-period
+		// reclamation; otherwise it is the service's, reclaimed by the
+		// next compaction (the paper's "old memory can be freed" is the
+		// service's job, not the mover's).
+		if owner, ok := m.arena.(interface{ Owns(mem.Addr) bool }); ok && owner.Owns(entry.Backing) {
+			m.mu.Lock()
+			m.pending = append(m.pending, graceItem{entry.Backing, entry.Size, m.rt.EpochSnapshot()})
+			m.mu.Unlock()
+		}
+		m.Reclaim()
+		return true, nil
+	}
+	m.Aborts.Add(1)
+	m.arena.Free(dst, entry.Size)
+	return false, nil
+}
+
+// Reclaim frees queued old copies whose grace period has elapsed (every
+// thread alive at commit time has since crossed a safepoint, parked, or
+// exited). Called opportunistically from TryMove; callers may also invoke
+// it directly.
+func (m *Mover) Reclaim() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) == 0 {
+		return
+	}
+	// One epoch snapshot evaluates every pending item: an item is
+	// reclaimable once each thread recorded at its commit has either
+	// exited or advanced past its recorded epoch. (This is slightly
+	// stricter than QuiescentSince — parked threads delay reclamation
+	// until they run again — which only postpones reuse, never unsafely
+	// hastens it.)
+	cur := m.rt.EpochSnapshot()
+	kept := m.pending[:0]
+	for _, it := range m.pending {
+		ok := true
+		for t, e := range it.snap {
+			if now, live := cur[t]; live && now == e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			m.arena.Free(it.addr, it.size)
+			m.Reclaimed.Add(1)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	m.pending = kept
+}

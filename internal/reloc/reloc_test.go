@@ -1,0 +1,271 @@
+package reloc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"alaska/internal/handle"
+	"alaska/internal/mem"
+	"alaska/internal/rt"
+)
+
+// bumpSvc is a minimal backing service for relocation tests.
+type bumpSvc struct {
+	space  *mem.Space
+	region *mem.Region
+	off    uint64
+	active uint64
+}
+
+func (b *bumpSvc) Init(*rt.Runtime) error {
+	r, err := b.space.Map(8 << 20)
+	if err != nil {
+		return err
+	}
+	b.region = r
+	return nil
+}
+func (b *bumpSvc) Deinit() error { return nil }
+func (b *bumpSvc) Alloc(_ uint32, size uint64) (mem.Addr, error) {
+	aligned := (size + 15) &^ 15
+	addr := b.region.Base() + mem.Addr(b.off)
+	b.off += aligned
+	b.active += size
+	return addr, nil
+}
+func (b *bumpSvc) Free(_ uint32, _ mem.Addr, size uint64) error { b.active -= size; return nil }
+func (b *bumpSvc) UsableSize(mem.Addr) uint64                   { return 0 }
+func (b *bumpSvc) HeapExtent() uint64                           { return b.off }
+func (b *bumpSvc) ActiveBytes() uint64                          { return b.active }
+func (b *bumpSvc) Name() string                                 { return "bump" }
+
+func newRelocRuntime(t *testing.T) (*rt.Runtime, *Mover, *mem.Space) {
+	t.Helper()
+	space := mem.NewSpace()
+	var mover *Mover
+	r, err := rt.New(space, &bumpSvc{space: space}, rt.WithFaultHandler(func(r *rt.Runtime, id uint32) error {
+		return mover.Handler()(r, id)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena, err := NewRegionAllocator(space, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mover = NewMover(r, arena)
+	return r, mover, space
+}
+
+func TestUncontendedMoveCommits(t *testing.T) {
+	r, mover, space := newRelocRuntime(t)
+	th := r.NewThread()
+	h, _ := r.Halloc(128)
+	oldAddr, _ := th.Translate(h)
+	if err := space.WriteU64(oldAddr, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := mover.TryMove(h.ID())
+	if err != nil || !ok {
+		t.Fatalf("TryMove = %v, %v; want commit", ok, err)
+	}
+	newAddr, err := th.Translate(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newAddr == oldAddr {
+		t.Error("object did not move")
+	}
+	v, _ := space.ReadU64(newAddr)
+	if v != 0xFEED {
+		t.Errorf("contents after move = %#x", v)
+	}
+	if mover.Commits.Load() != 1 || mover.Aborts.Load() != 0 {
+		t.Errorf("commits=%d aborts=%d", mover.Commits.Load(), mover.Aborts.Load())
+	}
+}
+
+func TestAccessDuringMoveAborts(t *testing.T) {
+	r, mover, space := newRelocRuntime(t)
+	th := r.NewThread()
+	h, _ := r.Halloc(64)
+	oldAddr, _ := th.Translate(h)
+	if err := space.WriteU64(oldAddr, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manually run the protocol steps to interleave an access mid-copy.
+	entry, err := r.Table.BeginSpeculativeMove(h.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mutator translates while the entry is "moving": it faults, the
+	// handler revalidates, and the translation succeeds at the OLD spot.
+	gotAddr, err := th.Translate(h)
+	if err != nil {
+		t.Fatalf("translate during move: %v", err)
+	}
+	if gotAddr != oldAddr {
+		t.Errorf("mid-move access went to %#x, want old %#x", gotAddr, oldAddr)
+	}
+	// The mover finishes its copy and tries to commit: it must lose.
+	dst, err := mover.arena.Alloc(entry.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := space.Copy(dst, entry.Backing, entry.Size); err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.CommitSpeculativeMove(h.ID(), dst) {
+		t.Fatal("commit succeeded after a concurrent access revalidated")
+	}
+	// Object remains at the old address with intact data.
+	a, _ := th.Translate(h)
+	if a != oldAddr {
+		t.Errorf("object at %#x after aborted move, want %#x", a, oldAddr)
+	}
+}
+
+func TestBeginMoveTwiceFails(t *testing.T) {
+	r, _, _ := newRelocRuntime(t)
+	h, _ := r.Halloc(32)
+	if _, err := r.Table.BeginSpeculativeMove(h.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Table.BeginSpeculativeMove(h.ID()); err == nil {
+		t.Error("second BeginSpeculativeMove succeeded")
+	}
+}
+
+func TestRevalidateIdempotent(t *testing.T) {
+	r, _, _ := newRelocRuntime(t)
+	h, _ := r.Halloc(32)
+	if _, err := r.Table.BeginSpeculativeMove(h.ID()); err != nil {
+		t.Fatal(err)
+	}
+	did, err := r.Table.Revalidate(h.ID())
+	if err != nil || !did {
+		t.Fatalf("first Revalidate = %v, %v", did, err)
+	}
+	did, err = r.Table.Revalidate(h.ID())
+	if err != nil || did {
+		t.Fatalf("second Revalidate = %v, %v; want no-op", did, err)
+	}
+}
+
+func TestArenaExhaustionRollsBack(t *testing.T) {
+	space := mem.NewSpace()
+	var mover *Mover
+	r, err := rt.New(space, &bumpSvc{space: space}, rt.WithFaultHandler(func(r *rt.Runtime, id uint32) error {
+		return mover.Handler()(r, id)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena, err := NewRegionAllocator(space, mem.PageSize) // tiny arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	mover = NewMover(r, arena)
+	th := r.NewThread()
+	h, _ := r.Halloc(2 * mem.PageSize)
+	if ok, err := mover.TryMove(h.ID()); ok || err == nil {
+		t.Errorf("TryMove with exhausted arena = %v, %v", ok, err)
+	}
+	// The entry must be valid again.
+	if _, err := th.Translate(h); err != nil {
+		t.Errorf("translate after rollback: %v", err)
+	}
+}
+
+// The concurrency crucible: mutators hammer reads through handles while a
+// mover relocates them; every read must see the object's immutable tag,
+// and commits+aborts must cover all attempts.
+func TestConcurrentMovesAndAccesses(t *testing.T) {
+	r, mover, space := newRelocRuntime(t)
+	const nObjs = 128
+	handles := make([]handle.Handle, nObjs)
+	for i := range handles {
+		h, err := r.Halloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		a, _ := r.Table.Translate(h)
+		if err := space.WriteU64(a, uint64(i)*0x9E3779B9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	quit := make(chan struct{})
+	var reads atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := r.NewThread()
+			defer th.Destroy()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				i := rng.Intn(nObjs)
+				a, err := th.Translate(handles[i])
+				if err != nil {
+					t.Errorf("translate: %v", err)
+					return
+				}
+				v, err := space.ReadU64(a)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if v != uint64(i)*0x9E3779B9 {
+					t.Errorf("object %d read %#x, want %#x", i, v, uint64(i)*0x9E3779B9)
+					return
+				}
+				reads.Add(1)
+				th.Safepoint()
+			}
+		}(g)
+	}
+	// Let the readers actually start before moving (under -race, goroutine
+	// startup can lag the main goroutine considerably).
+	for reads.Load() == 0 {
+		runtime.Gosched()
+	}
+	attempts := 0
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < 3000; k++ {
+		if k%64 == 0 {
+			runtime.Gosched()
+		}
+		id := handles[rng.Intn(nObjs)].ID()
+		ok, err := mover.TryMove(id)
+		if err != nil {
+			// Begin can fail if a previous move is mid-flight; with a
+			// single mover that cannot happen, so any error is real.
+			t.Fatalf("TryMove: %v", err)
+		}
+		_ = ok
+		attempts++
+	}
+	close(quit)
+	wg.Wait()
+	if got := mover.Commits.Load() + mover.Aborts.Load(); got != int64(attempts) {
+		t.Errorf("commits+aborts = %d, attempts = %d", got, attempts)
+	}
+	if mover.Commits.Load() == 0 {
+		t.Error("no moves ever committed")
+	}
+	if reads.Load() == 0 {
+		t.Error("no reads happened")
+	}
+	t.Logf("reads=%d commits=%d aborts=%d", reads.Load(), mover.Commits.Load(), mover.Aborts.Load())
+}

@@ -1,0 +1,523 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"alaska/internal/handle"
+	"alaska/internal/mem"
+)
+
+// bumpService is a minimal backing-memory service for runtime tests: a
+// bump allocator over one big region, never freeing.
+type bumpService struct {
+	space  *mem.Space
+	region *mem.Region
+	off    uint64
+	active uint64
+}
+
+func (b *bumpService) Init(*Runtime) error {
+	r, err := b.space.Map(16 << 20)
+	if err != nil {
+		return err
+	}
+	b.region = r
+	return nil
+}
+func (b *bumpService) Deinit() error { return nil }
+func (b *bumpService) Alloc(_ uint32, size uint64) (mem.Addr, error) {
+	aligned := (size + 15) &^ 15
+	addr := b.region.Base() + mem.Addr(b.off)
+	b.off += aligned
+	b.active += size
+	return addr, nil
+}
+func (b *bumpService) Free(_ uint32, _ mem.Addr, size uint64) error {
+	b.active -= size
+	return nil
+}
+func (b *bumpService) UsableSize(mem.Addr) uint64 { return 0 }
+func (b *bumpService) HeapExtent() uint64         { return b.off }
+func (b *bumpService) ActiveBytes() uint64        { return b.active }
+func (b *bumpService) Name() string               { return "test-bump" }
+
+func newTestRuntime(t *testing.T, opts ...Option) (*Runtime, *mem.Space) {
+	t.Helper()
+	space := mem.NewSpace()
+	r, err := New(space, &bumpService{space: space}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, space
+}
+
+func TestHallocHfree(t *testing.T) {
+	r, space := newTestRuntime(t)
+	h, err := r.Halloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsHandle() || h.Offset() != 0 {
+		t.Fatalf("Halloc returned %v", h)
+	}
+	th := r.NewThread()
+	addr, unpin, err := th.Pin(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := space.WriteU64(addr, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := space.ReadU64(addr)
+	if err != nil || v != 42 {
+		t.Fatalf("read back %d, %v", v, err)
+	}
+	unpin()
+	if err := r.Hfree(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Translate(h); err == nil {
+		t.Error("translate after Hfree succeeded")
+	}
+	if err := th.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHfreeErrors(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	h, _ := r.Halloc(64)
+	if err := r.Hfree(h.Add(8)); err == nil {
+		t.Error("Hfree of interior handle succeeded")
+	}
+	if err := r.Hfree(handle.Handle(0x1234)); err == nil {
+		t.Error("Hfree of raw pointer succeeded")
+	}
+	if err := r.Hfree(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Hfree(h); err == nil {
+		t.Error("double Hfree succeeded")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	h, _ := r.Halloc(100)
+	n, err := r.SizeOf(h)
+	if err != nil || n != 100 {
+		t.Errorf("SizeOf = %d, %v; want 100", n, err)
+	}
+}
+
+func TestHallocZeroBehavesLikeMallocZero(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	h1, err := r.Halloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.Halloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("Halloc(0) returned identical handles")
+	}
+}
+
+func TestPinFramesAndSlots(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	h1, _ := r.Halloc(16)
+	h2, _ := r.Halloc(16)
+
+	th.PushFrame(2)
+	if _, err := th.TranslateAndPin(h1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.TranslateAndPin(h2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.TranslateAndPin(h1, 5); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	// Both pinned: barrier must refuse to move either.
+	r.Barrier(th, func(s *BarrierScope) {
+		if !s.Pinned(h1.ID()) || !s.Pinned(h2.ID()) {
+			t.Error("pinned handles not visible in barrier scope")
+		}
+		if err := s.Relocate(h1.ID(), 0x9000); err == nil {
+			t.Error("Relocate of pinned object succeeded")
+		}
+	})
+	th.PopFrame()
+	r.Barrier(th, func(s *BarrierScope) {
+		if s.Pinned(h1.ID()) {
+			t.Error("handle still pinned after frame pop")
+		}
+	})
+}
+
+func TestTranslateAndPinPointerPassthrough(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	th.PushFrame(1)
+	a, err := th.TranslateAndPin(handle.Handle(0xABC0), 0)
+	if err != nil || a != 0xABC0 {
+		t.Errorf("pointer passthrough = %#x, %v", a, err)
+	}
+	r.Barrier(th, func(s *BarrierScope) {
+		if s.PinnedCount() != 0 {
+			t.Error("raw pointer was recorded as a pin")
+		}
+	})
+}
+
+func TestTranslateAndPinRequiresFrame(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	h, _ := r.Halloc(8)
+	if _, err := th.TranslateAndPin(h, 0); err == nil {
+		t.Error("pin with no frame succeeded")
+	}
+}
+
+func TestRelocatePreservesContents(t *testing.T) {
+	r, space := newTestRuntime(t)
+	th := r.NewThread()
+	h, _ := r.Halloc(64)
+	addr, _ := th.Translate(h)
+	if err := space.Write(addr, []byte("relocatable payload")); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := space.Map(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The test goroutine owns th, so it must identify itself as the
+	// initiator; a nil initiator would wait forever for th to park.
+	r.Barrier(th, func(s *BarrierScope) {
+		if err := s.Relocate(h.ID(), dst.Base()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The handle now resolves to the new location with intact contents.
+	newAddr, err := th.Translate(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newAddr != dst.Base() {
+		t.Errorf("after move handle resolves to %#x, want %#x", newAddr, dst.Base())
+	}
+	buf := make([]byte, 19)
+	if err := space.Read(newAddr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "relocatable payload" {
+		t.Errorf("contents after move = %q", buf)
+	}
+	if r.Stats().MovedObject.Load() != 1 {
+		t.Errorf("MovedObject = %d", r.Stats().MovedObject.Load())
+	}
+}
+
+func TestBarrierStopsRunningThreads(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	const nThreads = 4
+	var stop sync.WaitGroup
+	quit := make(chan struct{})
+	started := make(chan struct{}, nThreads)
+	var mu sync.Mutex
+	inBarrier := false
+	violations := 0
+
+	for i := 0; i < nThreads; i++ {
+		stop.Add(1)
+		go func() {
+			defer stop.Done()
+			th := r.NewThread()
+			defer th.Destroy()
+			started <- struct{}{}
+			for {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				// Simulated mutator work: must never overlap the barrier
+				// callback.
+				mu.Lock()
+				if inBarrier {
+					violations++
+				}
+				mu.Unlock()
+				th.Safepoint()
+			}
+		}()
+	}
+	for i := 0; i < nThreads; i++ {
+		<-started
+	}
+	for i := 0; i < 20; i++ {
+		r.Barrier(nil, func(s *BarrierScope) {
+			mu.Lock()
+			inBarrier = true
+			mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+			mu.Lock()
+			inBarrier = false
+			mu.Unlock()
+		})
+	}
+	close(quit)
+	stop.Wait()
+	if violations != 0 {
+		t.Errorf("%d mutator steps overlapped a barrier", violations)
+	}
+	if got := r.Stats().Barriers.Load(); got != 20 {
+		t.Errorf("Barriers = %d, want 20", got)
+	}
+}
+
+// A thread blocked in an external call must not stall the barrier — the
+// straggler path of §4.1.3.
+func TestBarrierDoesNotWaitForExternalThreads(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		th.EnterExternal()
+		<-release // "blocked in the kernel"
+		th.ExitExternal()
+		close(done)
+	}()
+	// Give the goroutine time to enter the external state.
+	for i := 0; i < 1000; i++ {
+		if threadState(th.state.Load()) == stateExternal {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	barrierRan := make(chan struct{})
+	go func() {
+		r.Barrier(nil, func(*BarrierScope) {})
+		close(barrierRan)
+	}()
+	select {
+	case <-barrierRan:
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier waited for a thread blocked in external code")
+	}
+	close(release)
+	<-done
+	if err := th.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A thread returning from external code while a barrier is running must
+// wait for the barrier to finish before resuming instrumented execution.
+func TestExitExternalWaitsForBarrier(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	th.EnterExternal()
+
+	barrierEntered := make(chan struct{})
+	releaseBarrier := make(chan struct{})
+	go func() {
+		r.Barrier(nil, func(*BarrierScope) {
+			close(barrierEntered)
+			<-releaseBarrier
+		})
+	}()
+	<-barrierEntered
+
+	resumed := make(chan struct{})
+	go func() {
+		th.ExitExternal()
+		close(resumed)
+	}()
+	select {
+	case <-resumed:
+		t.Fatal("ExitExternal returned while barrier was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(releaseBarrier)
+	select {
+	case <-resumed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ExitExternal never resumed after barrier completed")
+	}
+	if err := th.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountedPinsMode(t *testing.T) {
+	r, _ := newTestRuntime(t, WithPinMode(CountedPins))
+	th := r.NewThread()
+	h, _ := r.Halloc(32)
+	th.PushFrame(1)
+	if _, err := th.TranslateAndPin(h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Table.PinCount(h.ID()); got != 1 {
+		t.Errorf("PinCount = %d, want 1", got)
+	}
+	// Overwriting the slot with another handle unpins the old one.
+	h2, _ := r.Halloc(32)
+	if _, err := th.TranslateAndPin(h2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Table.PinCount(h.ID()); got != 0 {
+		t.Errorf("old PinCount = %d, want 0", got)
+	}
+	if got := r.Table.PinCount(h2.ID()); got != 1 {
+		t.Errorf("new PinCount = %d, want 1", got)
+	}
+	th.PopFrame()
+	if got := r.Table.PinCount(h2.ID()); got != 0 {
+		t.Errorf("PinCount after PopFrame = %d, want 0", got)
+	}
+}
+
+func TestHandleFaultDispatch(t *testing.T) {
+	faulted := 0
+	var fh FaultHandler = func(r *Runtime, id uint32) error {
+		faulted++
+		return r.Table.SetInvalid(id, false)
+	}
+	r, _ := newTestRuntime(t, WithFaultHandler(fh))
+	th := r.NewThread()
+	h, _ := r.Halloc(16)
+	if err := r.Table.SetInvalid(h.ID(), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Translate(h); err != nil {
+		t.Fatal(err)
+	}
+	if faulted != 1 {
+		t.Errorf("fault handler ran %d times, want 1", faulted)
+	}
+	if r.Stats().Faults.Load() != 1 {
+		t.Errorf("Faults stat = %d, want 1", r.Stats().Faults.Load())
+	}
+}
+
+func TestHandleFaultWithoutHandlerErrors(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	h, _ := r.Halloc(16)
+	if err := r.Table.SetInvalid(h.ID(), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Translate(h); err == nil {
+		t.Error("fault with no handler succeeded")
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	if got := r.Fragmentation(); got != 1 {
+		t.Errorf("empty-heap fragmentation = %v, want 1", got)
+	}
+	if _, err := r.Halloc(1024); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Fragmentation(); got < 1 {
+		t.Errorf("fragmentation = %v, want >= 1", got)
+	}
+}
+
+func TestCloseRejectsLiveThreads(t *testing.T) {
+	r, _ := newTestRuntime(t)
+	th := r.NewThread()
+	if err := r.Close(); err == nil {
+		t.Error("Close with live thread succeeded")
+	}
+	if err := th.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPinningAndBarriers(t *testing.T) {
+	r, space := newTestRuntime(t)
+	const nThreads = 4
+	handles := make([]handle.Handle, 64)
+	for i := range handles {
+		h, err := r.Halloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		a, _ := r.Table.Translate(h)
+		if err := space.WriteU64(mem.Addr(a), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	quit := make(chan struct{})
+	for g := 0; g < nThreads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := r.NewThread()
+			defer th.Destroy()
+			for i := 0; ; i++ {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				h := handles[(g*13+i)%len(handles)]
+				addr, unpin, err := th.Pin(h)
+				if err != nil {
+					t.Errorf("pin: %v", err)
+					return
+				}
+				v, err := space.ReadU64(addr)
+				if err != nil || v != uint64((g*13+i)%len(handles)) {
+					t.Errorf("object %d read %d (%v) — moved while pinned?", (g*13+i)%len(handles), v, err)
+					unpin()
+					return
+				}
+				unpin()
+				th.Safepoint()
+			}
+		}(g)
+	}
+	// Concurrently shuffle unpinned objects to fresh locations.
+	scratch, err := space.Map(64 * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		r.Barrier(nil, func(s *BarrierScope) {
+			for i, h := range handles {
+				if s.Pinned(h.ID()) {
+					continue
+				}
+				dst := scratch.Base() + mem.Addr((i+round)%64*64)
+				// Destination slots collide across objects; only move one
+				// object per round to keep contents disjoint.
+				if i%64 == round%64 {
+					if err := s.Relocate(h.ID(), dst); err != nil {
+						t.Errorf("relocate: %v", err)
+					}
+				}
+			}
+		})
+		time.Sleep(time.Millisecond)
+	}
+	close(quit)
+	wg.Wait()
+}

@@ -1,0 +1,216 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"alaska/internal/handle"
+	"alaska/internal/mem"
+)
+
+// threadState is the barrier-visible execution state of a thread.
+type threadState int32
+
+const (
+	// stateRunning: executing transformed code; must poll safepoints.
+	stateRunning threadState = iota
+	// stateParked: stopped at a safepoint inside a barrier.
+	stateParked
+	// stateExternal: inside an external (uninstrumented) call. Such a
+	// thread is already safe: per §4.1.3 no pin sets can exist below the
+	// external frame, and the pins above it are stable while it is away.
+	stateExternal
+)
+
+// Thread is a simulated application thread registered with the runtime. It
+// owns a stack of pin sets — one fixed-size set per active function
+// invocation — exactly mirroring the stack-allocated pin arrays the Alaska
+// compiler emits in each function prelude (§4.1.3).
+type Thread struct {
+	rt    *Runtime
+	state atomic.Int32
+	// epoch counts safepoint crossings; grace-period reclamation (the
+	// reloc package) uses it to know when no thread can still hold a raw
+	// pointer obtained before a given moment.
+	epoch atomic.Uint64
+
+	// frames is the stack of pin sets. Only the owning goroutine mutates
+	// it, and the barrier initiator reads it only after the thread has
+	// quiesced (parked or external), so no per-slot synchronization is
+	// needed — the same argument the paper makes for why stack pin sets
+	// need no atomics.
+	frames [][]handle.Handle
+}
+
+// NewThread registers a new application thread. If a barrier is in flight,
+// registration waits for it to finish so a fresh thread can never run
+// concurrently with a relocation.
+func (r *Runtime) NewThread() *Thread {
+	t := &Thread{rt: r}
+	r.mu.Lock()
+	for r.stopRequest.Load() {
+		r.resumeCond.Wait()
+	}
+	r.threads[t] = struct{}{}
+	r.mu.Unlock()
+	return t
+}
+
+// Destroy unregisters the thread. Its pin frames must all be popped.
+func (t *Thread) Destroy() error {
+	if len(t.frames) != 0 {
+		return fmt.Errorf("rt: Destroy of thread with %d live pin frames", len(t.frames))
+	}
+	// If a barrier is in flight it may be waiting for this thread to
+	// quiesce; removing the thread must wake the initiator.
+	t.rt.mu.Lock()
+	delete(t.rt.threads, t)
+	t.rt.quiesceCond.Broadcast()
+	t.rt.mu.Unlock()
+	return nil
+}
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// PushFrame allocates a pin set of n slots for a function invocation. The
+// compiler computes n statically via interference-graph colouring.
+func (t *Thread) PushFrame(n int) {
+	t.frames = append(t.frames, make([]handle.Handle, n))
+}
+
+// PopFrame discards the current invocation's pin set, implicitly unpinning
+// everything it held.
+func (t *Thread) PopFrame() {
+	if len(t.frames) == 0 {
+		panic("rt: PopFrame on empty pin stack")
+	}
+	last := len(t.frames) - 1
+	if t.rt.pinMode == CountedPins {
+		for _, h := range t.frames[last] {
+			if h.IsHandle() {
+				_ = t.rt.Table.AddPin(h.ID(), -1)
+			}
+		}
+	}
+	t.frames = t.frames[:last]
+}
+
+// FrameDepth returns the pin-stack depth (for tests and diagnostics).
+func (t *Thread) FrameDepth() int { return len(t.frames) }
+
+// TranslateAndPin records h in slot of the current pin set and returns the
+// raw backing address. This is the runtime half of a compiler-inserted
+// translate: store to the pin set, then the table load of Figure 5.
+// Raw pointers pass through without pinning (the translation function's
+// pointer case).
+func (t *Thread) TranslateAndPin(h handle.Handle, slot int) (mem.Addr, error) {
+	if !h.IsHandle() {
+		return mem.Addr(h), nil
+	}
+	if len(t.frames) == 0 {
+		return 0, fmt.Errorf("rt: TranslateAndPin with no pin frame")
+	}
+	fr := t.frames[len(t.frames)-1]
+	if slot < 0 || slot >= len(fr) {
+		return 0, fmt.Errorf("rt: pin slot %d out of range (frame has %d)", slot, len(fr))
+	}
+	if t.rt.pinMode == CountedPins {
+		if old := fr[slot]; old.IsHandle() {
+			_ = t.rt.Table.AddPin(old.ID(), -1)
+		}
+		if err := t.rt.Table.AddPin(h.ID(), 1); err != nil {
+			return 0, err
+		}
+	}
+	fr[slot] = h
+	t.rt.stats.Pins.Add(1)
+	return t.rt.translate(h)
+}
+
+// Pin is the scoped-pin convenience used by hand-written runtime clients
+// (the KV store, examples): it pushes a one-slot frame, pins h, and returns
+// the raw address plus an unpin func that pops the frame.
+func (t *Thread) Pin(h handle.Handle) (mem.Addr, func(), error) {
+	t.PushFrame(1)
+	a, err := t.TranslateAndPin(h, 0)
+	if err != nil {
+		t.PopFrame()
+		return 0, nil, err
+	}
+	return a, t.PopFrame, nil
+}
+
+// Translate resolves a handle without pinning it. The caller must not hold
+// the resulting address across a safepoint; it exists for momentary reads
+// in code that polls no safepoints in between (and for tests).
+func (t *Thread) Translate(h handle.Handle) (mem.Addr, error) {
+	return t.rt.translate(h)
+}
+
+// Safepoint is the poll the compiler inserts on loop back edges, function
+// entries, and before external calls. If a barrier has been requested, the
+// thread parks until the barrier completes.
+func (t *Thread) Safepoint() {
+	t.epoch.Add(1)
+	if !t.rt.stopRequest.Load() {
+		return
+	}
+	t.park()
+}
+
+// Epoch returns the thread's safepoint-crossing count.
+func (t *Thread) Epoch() uint64 { return t.epoch.Load() }
+
+func (t *Thread) park() {
+	r := t.rt
+	r.mu.Lock()
+	t.state.Store(int32(stateParked))
+	r.quiesceCond.Broadcast()
+	for r.stopRequest.Load() {
+		r.resumeCond.Wait()
+	}
+	t.state.Store(int32(stateRunning))
+	r.mu.Unlock()
+}
+
+// EnterExternal marks the thread as inside an uninstrumented external call
+// (e.g. blocked in the kernel). A barrier will not wait for it — this is
+// the straggler-signalling path of §4.1.3: because no handle translation
+// happens in external code, the thread's extant pin sets are complete and
+// stable.
+func (t *Thread) EnterExternal() {
+	t.epoch.Add(1) // entering external code is a safe point
+	r := t.rt
+	r.mu.Lock()
+	t.state.Store(int32(stateExternal))
+	r.quiesceCond.Broadcast()
+	r.mu.Unlock()
+}
+
+// ExitExternal returns the thread to instrumented code. If a barrier is in
+// flight the thread parks immediately rather than racing the relocator.
+func (t *Thread) ExitExternal() {
+	r := t.rt
+	r.mu.Lock()
+	for r.stopRequest.Load() {
+		// A barrier is running; remain "safe" (parked) until it finishes.
+		t.state.Store(int32(stateParked))
+		r.quiesceCond.Broadcast()
+		r.resumeCond.Wait()
+	}
+	t.state.Store(int32(stateRunning))
+	r.mu.Unlock()
+}
+
+// pinnedInto adds every handle currently held in the thread's pin sets to
+// set. Called by the barrier initiator after the thread has quiesced.
+func (t *Thread) pinnedInto(set map[uint32]bool) {
+	for _, fr := range t.frames {
+		for _, h := range fr {
+			if h.IsHandle() {
+				set[h.ID()] = true
+			}
+		}
+	}
+}

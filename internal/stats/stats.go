@@ -1,0 +1,250 @@
+// Package stats provides the small statistical and reporting toolkit the
+// experiment harnesses share: geometric means, percentiles, time series,
+// and CSV/table rendering.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Geomean returns the geometric mean of (1 + x) - 1 over the inputs, the
+// convention used for aggregating overhead percentages (a -3% entry is a
+// 0.97 factor). Inputs are fractions (0.10 = 10%).
+func Geomean(overheads []float64) float64 {
+	if len(overheads) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, o := range overheads {
+		f := 1 + o
+		if f <= 0 {
+			f = 1e-9
+		}
+		logSum += math.Log(f)
+	}
+	return math.Exp(logSum/float64(len(overheads))) - 1
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a named time series (e.g. one curve of Figure 9).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{t, v})
+}
+
+// Max returns the series' maximum value (0 for empty).
+func (s *Series) Max() float64 {
+	var m float64
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Last returns the final value (0 for empty).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// At returns the value at or immediately before t (0 if before all data).
+func (s *Series) At(t time.Duration) float64 {
+	var v float64
+	for _, p := range s.Points {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// WriteCSV writes aligned series as CSV with a time column in seconds.
+// Series are sampled at each distinct timestamp using At().
+func WriteCSV(w io.Writer, series []*Series) error {
+	tsSet := map[time.Duration]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			tsSet[p.T] = true
+		}
+	}
+	ts := make([]time.Duration, 0, len(tsSet))
+	for t := range tsSet {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	header := []string{"time_s"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		row := []string{fmt.Sprintf("%.3f", t.Seconds())}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.3f", s.At(t)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders rows as an aligned text table.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(line(header)))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram is a fixed-boundary latency histogram.
+type Histogram struct {
+	bounds []float64 // upper bounds
+	counts []int64
+	sum    float64
+	n      int64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds;
+// an overflow bucket is added automatically.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile approximates the q-th quantile (0..1) from bucket boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

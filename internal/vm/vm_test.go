@@ -1,0 +1,405 @@
+package vm
+
+import (
+	"testing"
+
+	"alaska/internal/compiler"
+	"alaska/internal/ir"
+)
+
+// sumArrayMem builds: allocate n*8 bytes, fill a[i]=i, then sum it,
+// accumulating into a scratch allocation.
+func sumArrayMem(n int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	size := b.Const(n * 8)
+	base := b.Alloc(size)
+	scratch := b.Alloc(b.Const(8))
+	zero := b.Const(0)
+	end := b.Const(n)
+	one := b.Const(1)
+	eight := b.Const(8)
+
+	fill := b.Loop("fill", zero, end, one)
+	off := b.Mul(fill.IndVar, eight)
+	addr := b.GEP(base, off)
+	b.Store(addr, fill.IndVar)
+	b.Close(fill)
+
+	b.Store(scratch, zero)
+	sum := b.Loop("sum", zero, end, one)
+	soff := b.Mul(sum.IndVar, eight)
+	saddr := b.GEP(base, soff)
+	v := b.Load(saddr, ir.Int)
+	cur := b.Load(scratch, ir.Int)
+	nv := b.Add(cur, v)
+	b.Store(scratch, nv)
+	b.Close(sum)
+	res := b.Load(scratch, ir.Int)
+	b.Free(base)
+	b.Free(scratch)
+	b.Ret(res)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// linkedList builds an n-node list (node = [next, value]) then walks it
+// summing values — the pointer-chasing archetype.
+func linkedList(n int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	n16 := b.Const(16)
+	end := b.Const(n)
+	eight := b.Const(8)
+
+	// head slot in scratch memory so the build loop can prepend.
+	scratch := b.Alloc(eight)
+	b.Store(scratch, zero)
+
+	build := b.Loop("build", zero, end, one)
+	node := b.Alloc(n16)
+	oldHead := b.Load(scratch, ir.Ptr)
+	b.Store(node, oldHead) // node.next = head
+	valAddr := b.GEP(node, eight)
+	b.Store(valAddr, build.IndVar) // node.value = i
+	b.Store(scratch, node)         // head = node
+	b.Close(build)
+
+	// Walk.
+	acc := b.Alloc(eight)
+	b.Store(acc, zero)
+	head := b.Load(scratch, ir.Ptr)
+
+	loopB := b.NewBlock("walk")
+	bodyB := b.NewBlock("walkbody")
+	exitB := b.NewBlock("walkexit")
+	b.Br(loopB)
+	b.SetBlock(loopB)
+	cur := b.Phi(ir.Ptr, head, nil)
+	cond := b.Cmp(ir.CmpNE, cur, zero)
+	b.CondBr(cond, bodyB, exitB)
+	b.SetBlock(bodyB)
+	va := b.GEP(cur, eight)
+	v := b.Load(va, ir.Int)
+	a0 := b.Load(acc, ir.Int)
+	a1 := b.Add(a0, v)
+	b.Store(acc, a1)
+	next := b.Load(cur, ir.Ptr)
+	b.Br(loopB)
+	cur.Args[1] = next
+	b.SetBlock(exitB)
+	res := b.Load(acc, ir.Int)
+	b.Ret(res)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+func runBoth(t *testing.T, build func() *ir.Module, opt compiler.Options) (baseCycles, alaskaCycles int64, baseV, alaskaV uint64) {
+	t.Helper()
+	base := build()
+	mb := NewBaseline(base, DefaultCosts)
+	bv, err := mb.Run("main")
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	mod := build()
+	if _, err := compiler.Transform(mod, opt); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	ma, err := NewAlaska(mod, DefaultCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := ma.Run("main")
+	if err != nil {
+		t.Fatalf("alaska: %v", err)
+	}
+	if err := ma.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mb.Cycles, ma.Cycles, bv, av
+}
+
+func TestSumArraySemanticsPreserved(t *testing.T) {
+	bc, ac, bv, av := runBoth(t, func() *ir.Module { return sumArrayMem(100) }, compiler.DefaultOptions)
+	want := uint64(100 * 99 / 2)
+	if bv != want {
+		t.Errorf("baseline result = %d, want %d", bv, want)
+	}
+	if av != want {
+		t.Errorf("alaska result = %d, want %d", av, want)
+	}
+	if ac <= bc {
+		t.Errorf("alaska cycles %d <= baseline %d; handles cannot be free", ac, bc)
+	}
+	// Hoisted translations amortize: overhead must be modest (< 30%).
+	over := float64(ac-bc) / float64(bc)
+	if over > 0.30 {
+		t.Errorf("hoistable workload overhead = %.1f%%, want < 30%%", over*100)
+	}
+}
+
+func TestLinkedListSemanticsPreserved(t *testing.T) {
+	bc, ac, bv, av := runBoth(t, func() *ir.Module { return linkedList(200) }, compiler.DefaultOptions)
+	want := uint64(200 * 199 / 2)
+	if bv != want {
+		t.Errorf("baseline result = %d, want %d", bv, want)
+	}
+	if av != want {
+		t.Errorf("alaska result = %d, want %d", av, want)
+	}
+	if ac <= bc {
+		t.Error("pointer chasing should cost more under handles")
+	}
+}
+
+func TestPointerChasingCostsMoreThanGrid(t *testing.T) {
+	_, gridA, _, _ := runBoth(t, func() *ir.Module { return sumArrayMem(500) }, compiler.DefaultOptions)
+	gridB := NewBaseline(sumArrayMem(500), DefaultCosts)
+	if _, err := gridB.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	gridOver := float64(gridA-gridB.Cycles) / float64(gridB.Cycles)
+
+	listB := NewBaseline(linkedList(500), DefaultCosts)
+	if _, err := listB.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	listMod := linkedList(500)
+	if _, err := compiler.Transform(listMod, compiler.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	listM, err := NewAlaska(listMod, DefaultCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := listM.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	listOver := float64(listM.Cycles-listB.Cycles) / float64(listB.Cycles)
+
+	if listOver <= gridOver {
+		t.Errorf("list overhead %.1f%% <= grid overhead %.1f%%; Figure 7's shape requires pointer chasing to suffer more",
+			listOver*100, gridOver*100)
+	}
+}
+
+func TestNoHoistingDoublesGridOverhead(t *testing.T) {
+	base := NewBaseline(sumArrayMem(500), DefaultCosts)
+	if _, err := base.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+
+	over := func(opt compiler.Options) float64 {
+		mod := sumArrayMem(500)
+		if _, err := compiler.Transform(mod, opt); err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewAlaska(mod, DefaultCosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := m.Run("main"); err != nil || v != 500*499/2 {
+			t.Fatalf("run: v=%d err=%v", v, err)
+		}
+		return float64(m.Cycles-base.Cycles) / float64(base.Cycles)
+	}
+	hoisted := over(compiler.DefaultOptions)
+	noHoist := over(compiler.Options{Hoisting: false, Tracking: true})
+	if noHoist <= hoisted*1.5 {
+		t.Errorf("nohoisting overhead %.1f%% not substantially above hoisted %.1f%% (Figure 8 shape)",
+			noHoist*100, hoisted*100)
+	}
+}
+
+func TestNoTrackingCheaperThanTracking(t *testing.T) {
+	run := func(opt compiler.Options, poll int64) int64 {
+		mod := linkedList(300)
+		if _, err := compiler.Transform(mod, opt); err != nil {
+			t.Fatal(err)
+		}
+		costs := DefaultCosts
+		costs.Poll = poll
+		m, err := NewAlaska(mod, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	tracked := run(compiler.DefaultOptions, 1)
+	untracked := run(compiler.Options{Hoisting: true, Tracking: false}, 1)
+	if untracked >= tracked {
+		t.Errorf("notracking cycles %d >= tracking %d", untracked, tracked)
+	}
+}
+
+func TestExternalCallEscapes(t *testing.T) {
+	build := func() *ir.Module {
+		f := ir.NewFunc("main", 0)
+		b := ir.NewBuilder(f)
+		sz := b.Const(64)
+		p := b.Alloc(sz)
+		b.Call("ext_fill", ir.Int, p, sz)
+		v := b.Call("ext_sum", ir.Int, p, sz)
+		b.Ret(v)
+		f.Finish()
+		return &ir.Module{Funcs: []*ir.Func{f}}
+	}
+	// Bytes 0..63 sum to 2016.
+	mb := NewBaseline(build(), DefaultCosts)
+	bv, err := mb.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := build()
+	if _, err := compiler.Transform(mod, compiler.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewAlaska(mod, DefaultCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := ma.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv != 2016 || av != 2016 {
+		t.Errorf("results: baseline %d, alaska %d, want 2016", bv, av)
+	}
+}
+
+func TestUntranslatedHandleAccessFaults(t *testing.T) {
+	// A transformed module run WITHOUT translation (notracking still
+	// translates; so hand-build a load of a raw handle) must fault like
+	// footnote 5 says.
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	p := b.Alloc(b.Const(8))
+	v := b.Load(p, ir.Int) // load straight through the handle
+	b.Ret(v)
+	f.Finish()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+	// Mark the alloc as halloc without running translation insertion.
+	for _, blk := range f.Blocks {
+		for _, i := range blk.Instrs {
+			if i.Op == ir.OpAlloc {
+				i.Sub = 1
+			}
+		}
+	}
+	ma, err := NewAlaska(m, DefaultCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Run("main"); err == nil {
+		t.Error("dereferencing an untranslated handle did not fault")
+	}
+}
+
+func TestInternalCallAcrossFunctions(t *testing.T) {
+	build := func() *ir.Module {
+		callee := ir.NewFunc("double", 1)
+		cb := ir.NewBuilder(callee)
+		arg := cb.Param(0, ir.Ptr)
+		v := cb.Load(arg, ir.Int)
+		two := cb.Const(2)
+		d := cb.Mul(v, two)
+		cb.Store(arg, d)
+		cb.Ret(d)
+		callee.Finish()
+
+		f := ir.NewFunc("main", 0)
+		b := ir.NewBuilder(f)
+		p := b.Alloc(b.Const(8))
+		c21 := b.Const(21)
+		b.Store(p, c21)
+		r := b.Call("double", ir.Int, p)
+		b.Ret(r)
+		f.Finish()
+		return &ir.Module{Funcs: []*ir.Func{f, callee}}
+	}
+	bc, ac, bv, av := runBoth(t, build, compiler.DefaultOptions)
+	if bv != 42 || av != 42 {
+		t.Errorf("results: baseline %d alaska %d, want 42", bv, av)
+	}
+	_ = bc
+	_ = ac
+}
+
+func TestDivByZeroTrapped(t *testing.T) {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	one := b.Const(1)
+	zero := b.Const(0)
+	d := b.Bin(ir.BinDiv, one, zero)
+	b.Ret(d)
+	f.Finish()
+	m := NewBaseline(&ir.Module{Funcs: []*ir.Func{f}}, DefaultCosts)
+	if _, err := m.Run("main"); err == nil {
+		t.Error("division by zero did not error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	loop := b.NewBlock("spin")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop) // infinite
+	f.Finish()
+	m := NewBaseline(&ir.Module{Funcs: []*ir.Func{f}}, DefaultCosts)
+	m.MaxSteps = 10_000
+	if _, err := m.Run("main"); err == nil {
+		t.Error("infinite loop not stopped by step limit")
+	}
+}
+
+func TestRunUnknownFunction(t *testing.T) {
+	m := NewBaseline(&ir.Module{}, DefaultCosts)
+	if _, err := m.Run("nope"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestHandleFaultCheckCost(t *testing.T) {
+	mod := sumArrayMem(200)
+	if _, err := compiler.Transform(mod, compiler.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewAlaska(mod, DefaultCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+
+	mod2 := sumArrayMem(200)
+	if _, err := compiler.Transform(mod2, compiler.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	costs := DefaultCosts
+	costs.FaultCheck = 1
+	m2, err := NewAlaska(mod2, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cycles <= m1.Cycles {
+		t.Error("fault-check configuration should cost slightly more")
+	}
+	// §7 claims ~1-2% extra; at minimum it must stay under 5% here.
+	extra := float64(m2.Cycles-m1.Cycles) / float64(m1.Cycles)
+	if extra > 0.05 {
+		t.Errorf("fault-check overhead = %.2f%%, want small", extra*100)
+	}
+}

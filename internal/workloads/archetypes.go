@@ -1,0 +1,476 @@
+// Package workloads models the paper's 49-benchmark evaluation suite
+// (Embench, GAPBS, NAS, SPEC CPU 2017) plus the Redis/memcached drivers.
+//
+// Each benchmark is an IR program that preserves the two properties the
+// Alaska overhead depends on (§5.4): how much real work the program does
+// per memory access whose address derives from a heap object, and whether
+// the base pointer of those accesses is loop-invariant (hoistable) or
+// data-dependent (pointer chasing, global reloads, virtual dispatch).
+// The archetype builders below capture the recurring structures the paper
+// discusses — dense grids hoisted to the outermost loop (lbm, NAS),
+// pointer sorting (mcf), linked traversal (sglib, xalancbmk), bases
+// reloaded from globals (the Embench pattern that blocks hoisting) — and
+// the benchmark table instantiates one per paper benchmark.
+package workloads
+
+import "alaska/internal/ir"
+
+// BuildGrid models dense-array kernels (619.lbm, NAS): one large
+// allocation walked by nested counted loops, with flops ALU operations per
+// element. The base is defined outside all loops, so Alaska hoists its
+// translation to the outermost preheader and the per-iteration cost is
+// zero.
+func BuildGrid(n, reps, flops int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	nC := b.Const(n)
+	repsC := b.Const(reps)
+	base := b.Alloc(b.Const(n * 8))
+
+	outer := b.Loop("rep", zero, repsC, one)
+	inner := b.Loop("i", zero, nC, one)
+	off := b.Mul(inner.IndVar, eight)
+	addr := b.GEP(base, off)
+	v := b.Load(addr, ir.Int)
+	acc := v
+	for k := int64(0); k < flops; k++ {
+		acc = b.Bin(ir.BinXor, b.Add(acc, inner.IndVar), outer.IndVar)
+	}
+	b.Store(addr, acc)
+	b.Close(inner)
+	b.Close(outer)
+	res := b.Load(b.GEP(base, zero), ir.Int)
+	b.Free(base)
+	b.Ret(res)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildCompute models register-bound kernels (crc32, aha-mont64, md5sum,
+// nettle-*): a long ALU loop touching a small table every memEvery
+// iterations. Heap traffic is negligible, so handle overhead is ~0.
+func BuildCompute(iters, memEvery, flops int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	itersC := b.Const(iters)
+	table := b.Alloc(b.Const(256 * 8))
+	memEveryC := b.Const(memEvery)
+
+	loop := b.Loop("i", zero, itersC, one)
+	acc := loop.IndVar
+	for k := int64(0); k < flops; k++ {
+		acc = b.Bin(ir.BinXor, b.Mul(acc, b.Const(2654435761)), b.Const(k+1))
+	}
+	// if i % memEvery == 0 { table[acc & 255] ^= acc }
+	rem := b.Bin(ir.BinRem, loop.IndVar, memEveryC)
+	isHit := b.Cmp(ir.CmpEQ, rem, zero)
+	hit := b.NewBlock("hit")
+	cont := b.NewBlock("cont")
+	b.CondBr(isHit, hit, cont)
+	b.SetBlock(hit)
+	idx := b.Bin(ir.BinAnd, acc, b.Const(255))
+	addr := b.GEP(table, b.Mul(idx, eight))
+	old := b.Load(addr, ir.Int)
+	b.Store(addr, b.Bin(ir.BinXor, old, acc))
+	b.Br(cont)
+	b.SetBlock(cont)
+	b.Close(loop)
+	b.Free(table)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildListTraversal models pointer-chasing containers (sglib, huffbench,
+// linked structures in SPEC): build a list of nodes [next, value], then
+// walk it `passes` times doing `work` ALU ops per node. Every hop loads a
+// fresh pointer, so every hop pays a translation that cannot be hoisted.
+func BuildListTraversal(nodes, passes, work int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	n16 := b.Const(16)
+	nodesC := b.Const(nodes)
+	passesC := b.Const(passes)
+
+	headCell := b.Alloc(eight)
+	b.Store(headCell, zero)
+	build := b.Loop("build", zero, nodesC, one)
+	node := b.Alloc(n16)
+	oldHead := b.Load(headCell, ir.Ptr)
+	b.Store(node, oldHead)
+	b.Store(b.GEP(node, eight), build.IndVar)
+	b.Store(headCell, node)
+	b.Close(build)
+
+	accCell := b.Alloc(eight)
+	b.Store(accCell, zero)
+	pass := b.Loop("pass", zero, passesC, one)
+	head := b.Load(headCell, ir.Ptr)
+	walkH := b.NewBlock("walk.h")
+	walkB := b.NewBlock("walk.b")
+	walkX := b.NewBlock("walk.x")
+	b.Br(walkH)
+	b.SetBlock(walkH)
+	cur := b.Phi(ir.Ptr, head, nil)
+	alive := b.Cmp(ir.CmpNE, cur, zero)
+	b.CondBr(alive, walkB, walkX)
+	b.SetBlock(walkB)
+	v := b.Load(b.GEP(cur, eight), ir.Int)
+	acc := v
+	for k := int64(0); k < work; k++ {
+		acc = b.Add(b.Bin(ir.BinXor, acc, pass.IndVar), one)
+	}
+	a0 := b.Load(accCell, ir.Int)
+	b.Store(accCell, b.Add(a0, acc))
+	next := b.Load(cur, ir.Ptr)
+	b.Br(walkH)
+	cur.Args[1] = next
+	b.SetBlock(walkX)
+	b.Close(pass)
+	res := b.Load(accCell, ir.Int)
+	b.Ret(res)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildPointerSort models 429/605.mcf's hot phase: an array of pointers
+// repeatedly bubble-passed with the comparator dereferencing both sides —
+// the paper counts 4 translations per comparison. `work` adds ALU ops per
+// comparison to set the translation-to-work ratio.
+func BuildPointerSort(n, passes, work int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	nC := b.Const(n)
+	nM1 := b.Const(n - 1)
+	passesC := b.Const(passes)
+
+	arr := b.Alloc(b.Const(n * 8))
+	init := b.Loop("init", zero, nC, one)
+	obj := b.Alloc(eight)
+	// Pseudo-random keys: (i * 2654435761) mod n.
+	key := b.Bin(ir.BinRem, b.Mul(init.IndVar, b.Const(2654435761)), nC)
+	b.Store(obj, key)
+	b.Store(b.GEP(arr, b.Mul(init.IndVar, eight)), obj)
+	b.Close(init)
+
+	pass := b.Loop("pass", zero, passesC, one)
+	i := b.Loop("i", zero, nM1, one)
+	offI := b.Mul(i.IndVar, eight)
+	slotA := b.GEP(arr, offI)
+	slotB := b.GEP(arr, b.Add(offI, eight))
+	pa := b.Load(slotA, ir.Ptr)
+	pb := b.Load(slotB, ir.Ptr)
+	va := b.Load(pa, ir.Int)
+	vb := b.Load(pb, ir.Int)
+	acc := b.Add(va, vb)
+	for k := int64(0); k < work; k++ {
+		acc = b.Bin(ir.BinXor, acc, pass.IndVar)
+	}
+	outOfOrder := b.Cmp(ir.CmpLT, vb, va)
+	swap := b.NewBlock("swap")
+	cont := b.NewBlock("cont")
+	b.CondBr(outOfOrder, swap, cont)
+	b.SetBlock(swap)
+	b.Store(slotA, pb)
+	b.Store(slotB, pa)
+	b.Br(cont)
+	b.SetBlock(cont)
+	b.Close(i)
+	b.Close(pass)
+	b.Free(arr)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildGlobalChase models the Embench pattern the paper calls out (§5.4):
+// the kernel's base pointer lives in a global and is reloaded on every
+// iteration, so the translation cannot be hoisted across the reload.
+func BuildGlobalChase(iters, work int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	itersC := b.Const(iters)
+
+	global := b.Alloc(eight) // the global cell holding the buffer pointer
+	buf := b.Alloc(b.Const(64 * 8))
+	b.Store(global, buf)
+
+	loop := b.Loop("i", zero, itersC, one)
+	base := b.Load(global, ir.Ptr) // reload per iteration: a fresh root
+	idx := b.Bin(ir.BinAnd, loop.IndVar, b.Const(63))
+	addr := b.GEP(base, b.Mul(idx, eight))
+	v := b.Load(addr, ir.Int)
+	acc := v
+	for k := int64(0); k < work; k++ {
+		acc = b.Add(b.Bin(ir.BinXor, acc, loop.IndVar), one)
+	}
+	b.Store(addr, acc)
+	b.Close(loop)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildCSR models the GAPBS kernels: CSR offset/edge/value arrays walked
+// with a per-node neighbour loop. The CSR array bases hoist to the outer
+// loops, but each node visit also touches a heap-allocated per-node
+// property object through a loaded pointer (GAPBS's score/label/parent
+// structures), whose translation cannot be hoisted — leaving the modest
+// residual overhead of Figure 7's 4-16% band. edgeWork tunes ALU work per
+// edge.
+func BuildCSR(nodes, degree, iters, edgeWork int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	nodesC := b.Const(nodes)
+	itersC := b.Const(iters)
+	edges := nodes * degree
+
+	offs := b.Alloc(b.Const((nodes + 1) * 8))
+	dsts := b.Alloc(b.Const(edges * 8))
+	vals := b.Alloc(b.Const(nodes * 8))
+	props := b.Alloc(b.Const(nodes * 8)) // per-node property object ptrs
+
+	// Build offsets (i*degree) and edges (pseudo-random targets).
+	initN := b.Loop("initn", zero, b.Const(nodes+1), one)
+	b.Store(b.GEP(offs, b.Mul(initN.IndVar, eight)), b.Mul(initN.IndVar, b.Const(degree)))
+	b.Close(initN)
+	initE := b.Loop("inite", zero, b.Const(edges), one)
+	tgt := b.Bin(ir.BinRem, b.Mul(initE.IndVar, b.Const(40503)), nodesC)
+	b.Store(b.GEP(dsts, b.Mul(initE.IndVar, eight)), tgt)
+	b.Close(initE)
+	initV := b.Loop("initv", zero, nodesC, one)
+	b.Store(b.GEP(vals, b.Mul(initV.IndVar, eight)), one)
+	prop := b.Alloc(eight)
+	b.Store(prop, zero)
+	b.Store(b.GEP(props, b.Mul(initV.IndVar, eight)), prop)
+	b.Close(initV)
+
+	it := b.Loop("iter", zero, itersC, one)
+	nd := b.Loop("node", zero, nodesC, one)
+	lo := b.Load(b.GEP(offs, b.Mul(nd.IndVar, eight)), ir.Int)
+	hi := b.Load(b.GEP(offs, b.Mul(b.Add(nd.IndVar, one), eight)), ir.Int)
+	e := b.Loop("edge", lo, hi, one)
+	dst := b.Load(b.GEP(dsts, b.Mul(e.IndVar, eight)), ir.Int)
+	nv := b.Load(b.GEP(vals, b.Mul(dst, eight)), ir.Int)
+	acc := nv
+	for k := int64(0); k < edgeWork; k++ {
+		acc = b.Bin(ir.BinXor, b.Add(acc, e.IndVar), one)
+	}
+	cur := b.Load(b.GEP(vals, b.Mul(nd.IndVar, eight)), ir.Int)
+	b.Store(b.GEP(vals, b.Mul(nd.IndVar, eight)), b.Add(cur, acc))
+	b.Close(e)
+	// Update the node's property object through its pointer — a fresh
+	// root on every visit.
+	p := b.Load(b.GEP(props, b.Mul(nd.IndVar, eight)), ir.Ptr)
+	pv := b.Load(p, ir.Int)
+	b.Store(p, b.Add(pv, one))
+	b.Close(nd)
+	b.Close(it)
+	res := b.Load(b.GEP(vals, zero), ir.Int)
+	b.Ret(res)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildVCall models xalancbmk's virtual-dispatch style (§5.4): a tight
+// loop calling a small internal function with a pointer receiver. Calls
+// block interprocedural hoisting, so the callee translates `this` on every
+// invocation even when it is the same object. With memberChase the method
+// additionally follows a member pointer (this->field->value), adding a
+// second untranslatable root per call — xalancbmk's DOM-node style.
+func BuildVCall(objs, calls, work int64, memberChase bool) *ir.Module {
+	method := ir.NewFunc("method", 1)
+	mb := ir.NewBuilder(method)
+	this := mb.Param(0, ir.Ptr)
+	if memberChase {
+		member := mb.Load(this, ir.Ptr)
+		v := mb.Load(member, ir.Int)
+		acc := v
+		for k := int64(0); k < work; k++ {
+			acc = mb.Add(acc, mb.Const(k))
+		}
+		mb.Store(member, acc)
+		mb.Ret(acc)
+	} else {
+		v := mb.Load(this, ir.Int)
+		acc := v
+		for k := int64(0); k < work; k++ {
+			acc = mb.Add(acc, mb.Const(k))
+		}
+		mb.Store(this, acc)
+		mb.Ret(acc)
+	}
+	method.Finish()
+
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	objsC := b.Const(objs)
+	callsC := b.Const(calls)
+
+	arr := b.Alloc(b.Const(objs * 8))
+	init := b.Loop("init", zero, objsC, one)
+	o := b.Alloc(eight)
+	if memberChase {
+		m := b.Alloc(eight)
+		b.Store(m, init.IndVar)
+		b.Store(o, m)
+	} else {
+		b.Store(o, init.IndVar)
+	}
+	b.Store(b.GEP(arr, b.Mul(init.IndVar, eight)), o)
+	b.Close(init)
+
+	loop := b.Loop("call", zero, callsC, one)
+	idx := b.Bin(ir.BinRem, loop.IndVar, objsC)
+	obj := b.Load(b.GEP(arr, b.Mul(idx, eight)), ir.Ptr)
+	b.Call("method", ir.Int, obj)
+	b.Close(loop)
+	b.Free(arr)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f, method}}
+}
+
+// BuildAllocChurn models allocator-heavy phases (parsers, xz blocks):
+// repeated allocate/use/free cycles with `work` per block plus an escaped
+// external call every escEvery rounds.
+func BuildAllocChurn(rounds, blockWords, work, escEvery int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	roundsC := b.Const(rounds)
+	wordsC := b.Const(blockWords)
+
+	loop := b.Loop("round", zero, roundsC, one)
+	blk := b.Alloc(b.Const(blockWords * 8))
+	wr := b.Loop("wr", zero, wordsC, one)
+	a := b.GEP(blk, b.Mul(wr.IndVar, eight))
+	acc := b.Add(wr.IndVar, loop.IndVar)
+	for k := int64(0); k < work; k++ {
+		acc = b.Bin(ir.BinXor, acc, b.Const(k+3))
+	}
+	b.Store(a, acc)
+	b.Close(wr)
+	// Occasionally escape the block to external code.
+	if escEvery > 0 {
+		rem := b.Bin(ir.BinRem, loop.IndVar, b.Const(escEvery))
+		isEsc := b.Cmp(ir.CmpEQ, rem, zero)
+		esc := b.NewBlock("esc")
+		cont := b.NewBlock("cont")
+		b.CondBr(isEsc, esc, cont)
+		b.SetBlock(esc)
+		b.Call("ext_sum", ir.Int, blk, b.Const(blockWords*8))
+		b.Br(cont)
+		b.SetBlock(cont)
+	}
+	b.Free(blk)
+	b.Close(loop)
+	b.Ret(nil)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}
+
+// BuildTreeWalk models game-tree searches (deepsjeng, leela): a linked
+// binary tree descended repeatedly along pseudo-random paths; each step
+// loads a child pointer (a fresh root) and does `work` evaluation ops.
+func BuildTreeWalk(depth, descents, work int64) *ir.Module {
+	f := ir.NewFunc("main", 0)
+	b := ir.NewBuilder(f)
+	zero := b.Const(0)
+	one := b.Const(1)
+	eight := b.Const(8)
+	n24 := b.Const(24)
+	sixteen := b.Const(16)
+
+	// Build a complete tree level by level into an array of node ptrs:
+	// node = [left, right, value]. levels array sized 2^depth.
+	total := int64(1)<<depth - 1
+	arr := b.Alloc(b.Const(total * 8))
+	mk := b.Loop("mk", zero, b.Const(total), one)
+	node := b.Alloc(n24)
+	b.Store(b.GEP(node, sixteen), mk.IndVar) // value
+	b.Store(node, zero)                      // left
+	b.Store(b.GEP(node, eight), zero)        // right
+	b.Store(b.GEP(arr, b.Mul(mk.IndVar, eight)), node)
+	b.Close(mk)
+	// Wire children: node i -> 2i+1, 2i+2.
+	wire := b.Loop("wire", zero, b.Const((total-1)/2), one)
+	parent := b.Load(b.GEP(arr, b.Mul(wire.IndVar, eight)), ir.Ptr)
+	li := b.Add(b.Mul(wire.IndVar, b.Const(2)), one)
+	ri := b.Add(li, one)
+	lc := b.Load(b.GEP(arr, b.Mul(li, eight)), ir.Ptr)
+	rc := b.Load(b.GEP(arr, b.Mul(ri, eight)), ir.Ptr)
+	b.Store(parent, lc)
+	b.Store(b.GEP(parent, eight), rc)
+	b.Close(wire)
+
+	root := b.Load(b.GEP(arr, zero), ir.Ptr)
+	accCell := b.Alloc(eight)
+	b.Store(accCell, zero)
+	dsc := b.Loop("descent", zero, b.Const(descents), one)
+
+	walkH := b.NewBlock("wh")
+	walkB := b.NewBlock("wb")
+	walkX := b.NewBlock("wx")
+	b.Br(walkH)
+	b.SetBlock(walkH)
+	cur := b.Phi(ir.Ptr, root, nil)
+	stepPhi := b.Phi(ir.Int, dsc.IndVar, nil)
+	alive := b.Cmp(ir.CmpNE, cur, zero)
+	b.CondBr(alive, walkB, walkX)
+	b.SetBlock(walkB)
+	v := b.Load(b.GEP(cur, sixteen), ir.Int)
+	acc := v
+	for k := int64(0); k < work; k++ {
+		acc = b.Bin(ir.BinXor, b.Mul(acc, b.Const(31)), stepPhi)
+	}
+	a0 := b.Load(accCell, ir.Int)
+	b.Store(accCell, b.Add(a0, acc))
+	dir := b.Bin(ir.BinAnd, stepPhi, one)
+	isL := b.Cmp(ir.CmpEQ, dir, zero)
+	goL := b.NewBlock("goL")
+	goR := b.NewBlock("goR")
+	merge := b.NewBlock("merge")
+	b.CondBr(isL, goL, goR)
+	b.SetBlock(goL)
+	lnext := b.Load(cur, ir.Ptr)
+	b.Br(merge)
+	b.SetBlock(goR)
+	rnext := b.Load(b.GEP(cur, eight), ir.Ptr)
+	b.Br(merge)
+	b.SetBlock(merge)
+	nxt := b.Phi(ir.Ptr, lnext, rnext)
+	nstep := b.Bin(ir.BinShr, stepPhi, one)
+	b.Br(walkH)
+	cur.Args[1] = nxt
+	stepPhi.Args[1] = nstep
+	b.SetBlock(walkX)
+	b.Close(dsc)
+	res := b.Load(accCell, ir.Int)
+	b.Ret(res)
+	f.Finish()
+	return &ir.Module{Funcs: []*ir.Func{f}}
+}

@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"testing"
+
+	"alaska/internal/compiler"
+	"alaska/internal/ir"
+	"alaska/internal/vm"
+)
+
+// Every benchmark model must verify, transform cleanly under all compiler
+// configurations, and produce identical results in baseline and Alaska
+// modes.
+func TestAllBenchmarksSemanticsPreserved(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			base := b.Build()
+			if err := base.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			mb := vm.NewBaseline(base, vm.DefaultCosts)
+			baseV, err := mb.Run("main")
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+
+			mod := b.Build()
+			opt := compiler.DefaultOptions
+			if b.StrictAliasingViolation {
+				opt.Hoisting = false
+			}
+			if _, err := compiler.Transform(mod, opt); err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			ma, err := vm.NewAlaska(mod, vm.DefaultCosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alaskaV, err := ma.Run("main")
+			if err != nil {
+				t.Fatalf("alaska run: %v", err)
+			}
+			if baseV != alaskaV {
+				t.Errorf("results differ: baseline %d, alaska %d", baseV, alaskaV)
+			}
+			if ma.Cycles < mb.Cycles {
+				// Translations can never make a program cheaper in this
+				// cost model (the paper's ep speedup was icache layout
+				// luck, which a cycle counter has no analogue for).
+				t.Errorf("alaska cycles %d < baseline %d", ma.Cycles, mb.Cycles)
+			}
+			if err := ma.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksNoHoistingStillCorrect(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			base := b.Build()
+			mb := vm.NewBaseline(base, vm.DefaultCosts)
+			baseV, err := mb.Run("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod := b.Build()
+			if _, err := compiler.Transform(mod, compiler.Options{Hoisting: false, Tracking: true}); err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			ma, err := vm.NewAlaska(mod, vm.DefaultCosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := ma.Run("main")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if v != baseV {
+				t.Errorf("nohoisting result %d != baseline %d", v, baseV)
+			}
+		})
+	}
+}
+
+// Every benchmark under every compiler configuration must satisfy the
+// output invariant: all memory accesses flow through translations, all
+// translations have pin slots under tracking, and no handle escapes to
+// external code raw.
+func TestAllBenchmarksVerifyTranslated(t *testing.T) {
+	configs := []compiler.Options{
+		{Hoisting: true, Tracking: true},
+		{Hoisting: false, Tracking: true},
+		{Hoisting: true, Tracking: false},
+	}
+	for _, b := range All() {
+		for _, opt := range configs {
+			mod := b.Build()
+			if _, err := compiler.Transform(mod, opt); err != nil {
+				t.Fatalf("%s %+v: transform: %v", b.Name, opt, err)
+			}
+			if err := compiler.VerifyTranslated(mod, opt); err != nil {
+				t.Errorf("%s %+v: %v", b.Name, opt, err)
+			}
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	counts := map[string]int{}
+	names := map[string]bool{}
+	for _, b := range All() {
+		counts[b.Suite]++
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		names[b.Name] = true
+	}
+	want := map[string]int{SuiteEmbench: 22, SuiteGAP: 8, SuiteNAS: 8, SuiteSPEC: 11}
+	for suite, n := range want {
+		if counts[suite] != n {
+			t.Errorf("%s has %d benchmarks, want %d", suite, counts[suite], n)
+		}
+	}
+	// Only perlbench and gcc violate strict aliasing.
+	for _, b := range All() {
+		want := b.Name == "perlbench" || b.Name == "gcc"
+		if b.StrictAliasingViolation != want {
+			t.Errorf("%s: StrictAliasingViolation = %v", b.Name, b.StrictAliasingViolation)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if b := Lookup("mcf"); b == nil || b.Suite != SuiteSPEC {
+		t.Errorf("Lookup(mcf) = %+v", b)
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestSPECSubset(t *testing.T) {
+	sub := SPECSubset()
+	if len(sub) != 9 {
+		t.Fatalf("subset = %d, want 9 (SPEC minus perlbench/gcc)", len(sub))
+	}
+	for _, b := range sub {
+		if b.StrictAliasingViolation {
+			t.Errorf("%s should be excluded from the ablation subset", b.Name)
+		}
+	}
+}
+
+// Archetype sanity: each builder produces a verified module with the
+// structural property it claims.
+func TestGridIsFullyHoistable(t *testing.T) {
+	m := BuildGrid(64, 4, 2)
+	st, err := compiler.Transform(m, compiler.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hoisted == 0 {
+		t.Error("grid produced no hoisted translations")
+	}
+	if st.Translates > st.Hoisted+1 {
+		t.Errorf("grid has %d translations but only %d hoisted", st.Translates, st.Hoisted)
+	}
+}
+
+func TestListTraversalIsUnhoistable(t *testing.T) {
+	m := BuildListTraversal(16, 2, 1)
+	st, err := compiler.Transform(m, compiler.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hoisted != 0 {
+		t.Errorf("list traversal hoisted %d translations; pointer chasing must not hoist", st.Hoisted)
+	}
+}
+
+func TestGlobalChaseIsUnhoistable(t *testing.T) {
+	m := BuildGlobalChase(16, 1)
+	st, err := compiler.Transform(m, compiler.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The buffer access root is reloaded per iteration: at most the
+	// global-cell translation itself may hoist.
+	if st.Hoisted > 1 {
+		t.Errorf("global chase hoisted %d translations", st.Hoisted)
+	}
+}
+
+func TestAllocChurnEscapes(t *testing.T) {
+	m := BuildAllocChurn(4, 4, 1, 2)
+	st, err := compiler.Transform(m, compiler.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EscapesPinned == 0 {
+		t.Error("alloc churn with escEvery produced no escape pins")
+	}
+}
+
+func TestTreeWalkComputesDeterministically(t *testing.T) {
+	run := func() uint64 {
+		m := BuildTreeWalk(6, 10, 2)
+		mb := vm.NewBaseline(m, vm.DefaultCosts)
+		v, err := mb.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if run() != run() {
+		t.Error("tree walk nondeterministic")
+	}
+}
+
+func TestVCallTranslatesInCallee(t *testing.T) {
+	m := BuildVCall(4, 8, 1, true)
+	if _, err := compiler.Transform(m, compiler.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	method := m.Lookup("method")
+	if method == nil {
+		t.Fatal("no method function")
+	}
+	found := false
+	for _, blk := range method.Blocks {
+		for _, i := range blk.Instrs {
+			if i.Op == ir.OpTranslate {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("callee does not translate its receiver")
+	}
+}

@@ -1,0 +1,171 @@
+// Package ycsb implements the YCSB workload generator (Cooper et al.,
+// SoCC '10) used to drive the Redis and memcached experiments: the
+// standard scrambled-zipfian request distribution and the core workload
+// mixes (A: 50/50 read/update, B: 95/5, C: read-only, F:
+// read-modify-write).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType enumerates request kinds.
+type OpType int
+
+const (
+	// Read fetches a record.
+	Read OpType = iota
+	// Update rewrites a record's value.
+	Update
+	// Insert adds a new record.
+	Insert
+	// ReadModifyWrite reads then rewrites a record.
+	ReadModifyWrite
+)
+
+// Op is one generated request.
+type Op struct {
+	Type OpType
+	Key  string
+	// ValueSize applies to Update/Insert/RMW.
+	ValueSize int
+}
+
+// Workload names a standard YCSB mix.
+type Workload byte
+
+// Standard workloads.
+const (
+	WorkloadA Workload = 'A' // 50% read, 50% update
+	WorkloadB Workload = 'B' // 95% read, 5% update
+	WorkloadC Workload = 'C' // 100% read
+	WorkloadF Workload = 'F' // 50% read, 50% read-modify-write
+)
+
+// Generator produces YCSB operations.
+type Generator struct {
+	W           Workload
+	RecordCount int
+	// ValueSize is the value payload size (YCSB default: 10 fields x 100
+	// bytes; we use a single configurable payload).
+	ValueSize int
+	rng       *rand.Rand
+	zipf      *zipfian
+}
+
+// NewGenerator builds a generator over recordCount records.
+func NewGenerator(w Workload, recordCount, valueSize int, seed int64) (*Generator, error) {
+	switch w {
+	case WorkloadA, WorkloadB, WorkloadC, WorkloadF:
+	default:
+		return nil, fmt.Errorf("ycsb: unknown workload %c", w)
+	}
+	if recordCount <= 0 {
+		return nil, fmt.Errorf("ycsb: recordCount must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		W:           w,
+		RecordCount: recordCount,
+		ValueSize:   valueSize,
+		rng:         rng,
+		zipf:        newZipfian(uint64(recordCount), 0.99, rng),
+	}, nil
+}
+
+// Key formats record i as a YCSB key.
+func Key(i uint64) string { return fmt.Sprintf("user%012d", i) }
+
+// LoadOps returns the initial-load insert sequence.
+func (g *Generator) LoadOps() []Op {
+	ops := make([]Op, g.RecordCount)
+	for i := range ops {
+		ops[i] = Op{Type: Insert, Key: Key(uint64(i)), ValueSize: g.ValueSize}
+	}
+	return ops
+}
+
+// Next generates the next request.
+func (g *Generator) Next() Op {
+	key := Key(g.zipf.next())
+	r := g.rng.Float64()
+	switch g.W {
+	case WorkloadA:
+		if r < 0.5 {
+			return Op{Type: Read, Key: key}
+		}
+		return Op{Type: Update, Key: key, ValueSize: g.ValueSize}
+	case WorkloadB:
+		if r < 0.95 {
+			return Op{Type: Read, Key: key}
+		}
+		return Op{Type: Update, Key: key, ValueSize: g.ValueSize}
+	case WorkloadC:
+		return Op{Type: Read, Key: key}
+	case WorkloadF:
+		if r < 0.5 {
+			return Op{Type: Read, Key: key}
+		}
+		return Op{Type: ReadModifyWrite, Key: key, ValueSize: g.ValueSize}
+	}
+	return Op{Type: Read, Key: key}
+}
+
+// zipfian is the YCSB scrambled-zipfian chooser: zipf-distributed ranks
+// hashed across the keyspace so hot keys are spread out.
+type zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func newZipfian(n uint64, theta float64, rng *rand.Rand) *zipfian {
+	z := &zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// next returns a scrambled zipf-distributed record index in [0, n).
+func (z *zipfian) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// FNV-style scramble to spread hot ranks over the keyspace.
+	return fnv64(rank) % z.n
+}
+
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}

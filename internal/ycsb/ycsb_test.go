@@ -1,0 +1,129 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator('Z', 100, 100, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := NewGenerator(WorkloadA, 0, 100, 1); err == nil {
+		t.Error("zero records accepted")
+	}
+}
+
+func TestLoadOps(t *testing.T) {
+	g, err := NewGenerator(WorkloadA, 50, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := g.LoadOps()
+	if len(load) != 50 {
+		t.Fatalf("load ops = %d", len(load))
+	}
+	seen := make(map[string]bool)
+	for _, op := range load {
+		if op.Type != Insert || op.ValueSize != 128 {
+			t.Errorf("bad load op %+v", op)
+		}
+		if seen[op.Key] {
+			t.Errorf("duplicate key %s", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 20000
+	cases := []struct {
+		w          Workload
+		wantRead   float64
+		other      OpType
+		wantOther  float64
+		otherLabel string
+	}{
+		{WorkloadA, 0.5, Update, 0.5, "update"},
+		{WorkloadB, 0.95, Update, 0.05, "update"},
+		{WorkloadC, 1.0, Update, 0.0, "update"},
+		{WorkloadF, 0.5, ReadModifyWrite, 0.5, "rmw"},
+	}
+	for _, c := range cases {
+		g, err := NewGenerator(c.w, 1000, 100, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[OpType]int)
+		for i := 0; i < n; i++ {
+			counts[g.Next().Type]++
+		}
+		readFrac := float64(counts[Read]) / n
+		otherFrac := float64(counts[c.other]) / n
+		if math.Abs(readFrac-c.wantRead) > 0.03 {
+			t.Errorf("workload %c: read fraction %.3f, want %.2f", c.w, readFrac, c.wantRead)
+		}
+		if math.Abs(otherFrac-c.wantOther) > 0.03 {
+			t.Errorf("workload %c: %s fraction %.3f, want %.2f", c.w, c.otherLabel, otherFrac, c.wantOther)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g, err := NewGenerator(WorkloadC, 10000, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Zipf with theta .99 over 10k records: the hottest key takes a few
+	// percent of traffic, and a small fraction of keys takes most of it.
+	max := 0
+	total := 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total != n {
+		t.Fatalf("count mismatch")
+	}
+	if frac := float64(max) / n; frac < 0.01 {
+		t.Errorf("hottest key fraction %.4f — distribution not skewed", frac)
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct keys — scrambling broken", len(counts))
+	}
+}
+
+func TestKeysWithinRange(t *testing.T) {
+	g, err := NewGenerator(WorkloadA, 100, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[string]bool)
+	for i := uint64(0); i < 100; i++ {
+		valid[Key(i)] = true
+	}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if !valid[op.Key] {
+			t.Fatalf("generated key %q outside record range", op.Key)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := NewGenerator(WorkloadA, 1000, 100, 99)
+	g2, _ := NewGenerator(WorkloadA, 1000, 100, 99)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("generators diverged at op %d: %+v vs %+v", i, a, b)
+		}
+	}
+}

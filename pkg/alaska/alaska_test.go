@@ -1,0 +1,176 @@
+package alaska
+
+import (
+	"bytes"
+	"testing"
+
+	"alaska/internal/anchorage"
+	"alaska/internal/ir"
+	"alaska/internal/swap"
+)
+
+func TestSystemLifecycle(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Halloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := sys.NewThread()
+	addr, unpin, err := th.Pin(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Space().WriteU64(addr, 42); err != nil {
+		t.Fatal(err)
+	}
+	unpin()
+	if err := sys.Hfree(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefragRequiresAnchorage(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Defrag(nil); err == nil {
+		t.Error("Defrag without Anchorage succeeded")
+	}
+}
+
+func TestAnchorageDefragEndToEnd(t *testing.T) {
+	cfg := anchorage.DefaultConfig()
+	cfg.SubHeapSize = 128 * 1024
+	sys, err := NewSystem(WithAnchorage(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	var keep []Handle
+	var all []Handle
+	for i := 0; i < 2048; i++ {
+		h, err := sys.Halloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, h)
+	}
+	th := sys.NewThread()
+	defer th.Destroy()
+	for i, h := range all {
+		if i%8 == 0 {
+			a, _ := th.Translate(h)
+			if err := sys.Space().WriteU64(a, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+			keep = append(keep, h)
+			continue
+		}
+		if err := sys.Hfree(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fragBefore := sys.Fragmentation()
+	moved, err := sys.Defrag(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("Defrag moved nothing on a fragmented heap")
+	}
+	if frag := sys.Fragmentation(); frag >= fragBefore {
+		t.Errorf("fragmentation %v did not improve from %v", frag, fragBefore)
+	}
+	for i, h := range keep {
+		a, err := th.Translate(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := sys.Space().ReadU64(a)
+		if err != nil || v != uint64(i*8) {
+			t.Errorf("object %d corrupted after Defrag: %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestSwappingOption(t *testing.T) {
+	sys, err := NewSystem(WithAnchorage(anchorage.DefaultConfig()), WithSwapping(swap.NewMemStore(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	th := sys.NewThread()
+	defer th.Destroy()
+	h, _ := sys.Halloc(256)
+	a, _ := th.Translate(h)
+	payload := bytes.Repeat([]byte{7}, 256)
+	if err := sys.Space().Write(a, payload); err != nil {
+		t.Fatal(err)
+	}
+	sys.Barrier(th, func(scope *BarrierScope) {
+		if err := sys.Swapper().SwapOut(scope, h.ID()); err != nil {
+			t.Errorf("SwapOut: %v", err)
+		}
+	})
+	// Faulting access transparently restores.
+	a2, err := th.Translate(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := sys.Space().Read(a2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted across swap")
+	}
+}
+
+func TestCompileAndRun(t *testing.T) {
+	build := func() *ir.Module {
+		f := ir.NewFunc("main", 0)
+		b := ir.NewBuilder(f)
+		p := b.Alloc(b.Const(8))
+		c := b.Const(99)
+		b.Store(p, c)
+		v := b.Load(p, ir.Int)
+		b.Free(p)
+		b.Ret(v)
+		f.Finish()
+		return &ir.Module{Funcs: []*ir.Func{f}}
+	}
+	bv, bc, err := RunBaseline(build(), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := build()
+	st, err := Compile(m, DefaultCompileOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Translates == 0 {
+		t.Error("compile inserted no translations")
+	}
+	av, ac, err := RunAlaska(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv != 99 || av != 99 {
+		t.Errorf("results: %d, %d", bv, av)
+	}
+	if ac <= bc {
+		t.Errorf("alaska cycles %d <= baseline %d", ac, bc)
+	}
+}
