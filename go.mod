@@ -1,0 +1,3 @@
+module alaska
+
+go 1.24

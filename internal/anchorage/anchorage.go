@@ -133,12 +133,35 @@ type Service struct {
 	byID  map[uint32]*objInfo
 
 	active uint64
+	// passMu serializes ConcurrentDefragPass invocations without blocking
+	// allocators: with at most one speculative mover in flight, a handle ID
+	// recycled mid-copy can never be in the moving state when the stale
+	// commit arrives, so the commit safely fails instead of hijacking the
+	// new object's entry.
+	passMu sync.Mutex
+	// deferred holds source blocks vacated by ConcurrentDefragPass that
+	// cannot be reused until every thread alive at commit time has crossed
+	// a safepoint (a reader that translated just before the commit may
+	// still hold a raw pointer into the old copy).
+	deferred []deferredBlock
 	// Stats.
 	Passes     int64
 	MovedBytes int64
 	Truncated  int64 // bytes returned via DontNeed
 	// ShrunkBytes counts internal waste recovered by in-place shrinking.
 	ShrunkBytes int64
+	// ConcurrentPasses / MoveAborts count pause-free passes and the moves
+	// within them that lost the §7 commit race to a concurrent accessor.
+	ConcurrentPasses int64
+	MoveAborts       int64
+}
+
+// deferredBlock is a vacated source block awaiting grace-period reuse.
+type deferredBlock struct {
+	heap int
+	off  uint64
+	size uint64
+	snap map[*rt.Thread]uint64
 }
 
 var _ rt.Service = (*Service)(nil)
@@ -296,8 +319,10 @@ func (s *Service) Fragmentation() float64 {
 // allocBlockForMove finds a destination for relocating an object of size
 // need that currently sits at (srcHeap, srcOff): holes or bump space in
 // lower sub-heaps, else a strictly-lower hole in the source sub-heap.
-// Unlike allocBlock it may search whole bins (it runs inside a barrier,
-// where thoroughness beats O(1)) and never maps a new sub-heap.
+// Unlike allocBlock it may search whole bins (it runs on the relocation
+// slow path — under s.mu from either a barrier DefragPass or a
+// ConcurrentDefragPass — where thoroughness beats O(1)) and never maps a
+// new sub-heap.
 func (s *Service) allocBlockForMove(need uint64, srcHeap int, srcOff uint64) (int, uint64, bool) {
 	for hi := 0; hi < srcHeap; hi++ {
 		sh := s.heaps[hi]
@@ -363,7 +388,15 @@ func (sh *subHeap) coalesce() {
 // topmost occupied sub-heaps into lower holes, truncates vacated tails,
 // and returns the pages with DontNeed. Must be called inside a barrier.
 // It returns the number of bytes moved.
+//
+// It serializes with ConcurrentDefragPass on passMu: the barrier stops
+// registered threads but not the (unregistered) mover goroutine, and a
+// mid-flight concurrent pass holds state invisible to this one — a
+// reserved destination block and vacated-but-not-yet-deferred source
+// blocks — that truncate would otherwise reclaim from under it.
 func (s *Service) DefragPass(scope *rt.BarrierScope, budget uint64) uint64 {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.Passes++
@@ -440,6 +473,16 @@ func (s *Service) truncate(sh *subHeap) {
 			high = end
 		}
 	}
+	// Blocks vacated by a concurrent pass but still inside their grace
+	// period hold their address space: a straggling reader may still be
+	// using them, so they pin the bump like live objects until drained.
+	for _, d := range s.deferred {
+		if s.heaps[d.heap] == sh {
+			if end := d.off + d.size; end > high {
+				high = end
+			}
+		}
+	}
 	if high >= sh.bump {
 		return
 	}
@@ -474,4 +517,198 @@ func (s *Service) NumSubHeaps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.heaps)
+}
+
+// RevalidateFaultHandler returns the accessor side of the §7 protocol for
+// runtimes that run ConcurrentDefragPass: a translation that faults on a
+// moving entry revalidates it in place, aborting the in-flight move, and
+// retries at the original address. Install via rt.WithFaultHandler (or
+// chain it with a swap handler).
+func RevalidateFaultHandler() rt.FaultHandler {
+	return func(r *rt.Runtime, id uint32) error {
+		_, err := r.Table.Revalidate(id)
+		return err
+	}
+}
+
+// ConcurrentDefragPass moves up to budget bytes of objects out of the
+// topmost occupied sub-heaps without stopping the world, using the handle
+// table's speculative-move protocol (§7) instead of a barrier: each object
+// is CASed into the moving state, copied, and committed; a reader that
+// translates it mid-copy faults, revalidates the entry (via
+// RevalidateFaultHandler), and thereby aborts that one move — no pause,
+// no lost reads. Vacated source blocks are not reused immediately: they
+// are parked on a deferred list until every runtime thread registered at
+// commit time has crossed a safepoint, since a reader that translated
+// just before the commit may legally keep using the old copy until its
+// next poll (the same grace-period handshake the reloc package performs).
+//
+// Contract: like reloc.Mover.TryMove, callers must only run this while no
+// thread holds a *pinned* translation across safepoints with intent to
+// write — a pinned writer's store to the old copy after the commit wins
+// the race and is lost. Objects with a nonzero CountedPins count are
+// skipped (rechecked after the moving transition, so a pin that slipped
+// in between check and transition aborts the move); StackPins pin sets
+// are invisible outside a barrier, so that discipline is the caller's
+// (see the concurrency tests). The pass must also be the runtime's only
+// relocator: passes and barrier DefragPasses serialize on an internal
+// mutex, but mixing in a separate reloc.Mover — or another barrier-time
+// relocator such as the locality optimizer — on the same runtime would
+// reopen the recycled-ID and SetBacking races the serialization closes.
+// The pass never truncates sub-heaps —
+// deferred blocks above the high-water mark keep their pages until
+// DrainDeferred returns them and a later barrier pass truncates.
+//
+// The service lock is dropped around each object copy, so concurrent
+// Alloc/Free stall for at most one object's bookkeeping, not the whole
+// budgeted sweep; an object freed (and even reallocated) mid-copy is
+// detected by re-looking up its bookkeeping record before the move is
+// recorded, and the copy is discarded.
+func (s *Service) ConcurrentDefragPass(budget uint64) uint64 {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+	s.mu.Lock()
+	s.ConcurrentPasses++
+	s.drainDeferredLocked()
+	nHeaps := len(s.heaps)
+	s.mu.Unlock()
+
+	var moved uint64
+	var vacated []deferredBlock
+	for hi := nHeaps - 1; hi >= 0 && moved < budget; hi-- {
+		s.mu.Lock()
+		src := s.heaps[hi]
+		offs := make([]uint64, 0, len(src.objs))
+		for off := range src.objs {
+			offs = append(offs, off)
+		}
+		s.mu.Unlock()
+		sort.Slice(offs, func(i, j int) bool { return offs[i] > offs[j] })
+		for _, off := range offs {
+			if moved >= budget {
+				break
+			}
+			s.mu.Lock()
+			info, live := src.objs[off]
+			if !live || s.rt.Table.PinCount(info.id) > 0 {
+				s.mu.Unlock()
+				continue // freed meanwhile, or demonstrably pinned
+			}
+			entry, err := s.rt.Table.BeginSpeculativeMove(info.id)
+			if err != nil {
+				s.mu.Unlock()
+				continue // freed or already moving
+			}
+			// Re-check pins after the moving transition: a pin taken in the
+			// window between the check above and the transition translated a
+			// still-valid entry and holds a raw address the commit would
+			// invalidate. Any pin taken after this point must translate the
+			// now-invalid entry, fault, and revalidate — aborting the
+			// commit — so the recheck closes the window.
+			if s.rt.Table.PinCount(info.id) > 0 {
+				_, _ = s.rt.Table.Revalidate(info.id)
+				s.mu.Unlock()
+				continue
+			}
+			dhi, doff, ok := s.allocBlockForMove(info.block, hi, off)
+			if !ok {
+				_, _ = s.rt.Table.Revalidate(info.id)
+				s.mu.Unlock()
+				continue
+			}
+			dst := s.heaps[dhi].region.Base() + mem.Addr(doff)
+			size, block := info.size, info.block
+			s.mu.Unlock()
+
+			// Copy outside the service lock: the destination block is
+			// reserved, the entry is in the moving state, and allocators
+			// are free to run.
+			committed := false
+			if err := s.space.Copy(dst, entry.Backing, size); err != nil {
+				_, _ = s.rt.Table.Revalidate(info.id)
+			} else if s.rt.Table.CommitSpeculativeMove(info.id, dst) {
+				committed = true
+			}
+
+			s.mu.Lock()
+			if !committed {
+				// A concurrent accessor revalidated the entry (or it was
+				// freed mid-copy): the object stays put; discard the copy.
+				s.MoveAborts++
+				s.heaps[dhi].pushHole(hole{off: doff, size: block})
+				s.mu.Unlock()
+				continue
+			}
+			if cur, ok := src.objs[off]; !ok || cur != info {
+				// Freed — and possibly the slot reallocated — during the
+				// copy. The freeing Hfree already recycled the source block
+				// and the handle entry; drop the unreferenced copy.
+				s.heaps[dhi].pushHole(hole{off: doff, size: block})
+				s.mu.Unlock()
+				continue
+			}
+			delete(src.objs, off)
+			src.live -= size
+			vacated = append(vacated, deferredBlock{heap: hi, off: off, size: block})
+			info.heap, info.off = dhi, doff
+			s.heaps[dhi].objs[doff] = info
+			s.heaps[dhi].live += size
+			moved += size
+			s.mu.Unlock()
+		}
+	}
+	// One snapshot taken after every commit is at least as late — hence at
+	// least as conservative — as a per-move snapshot, at a fraction of the
+	// cost (EpochSnapshot locks the runtime and allocates per thread).
+	snap := s.rt.EpochSnapshot()
+	s.mu.Lock()
+	for i := range vacated {
+		vacated[i].snap = snap
+	}
+	s.deferred = append(s.deferred, vacated...)
+	s.MovedBytes += int64(moved)
+	s.mu.Unlock()
+	return moved
+}
+
+// DrainDeferred returns vacated source blocks whose grace period has
+// elapsed to their sub-heaps' free lists and reports how many bytes were
+// recovered. ConcurrentDefragPass drains opportunistically; callers may
+// also invoke it directly (e.g. before reading fragmentation stats).
+func (s *Service) DrainDeferred() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainDeferredLocked()
+}
+
+func (s *Service) drainDeferredLocked() uint64 {
+	if len(s.deferred) == 0 {
+		return 0
+	}
+	kept := s.deferred[:0]
+	var drained uint64
+	for _, d := range s.deferred {
+		// QuiescentSince counts parked and external threads as safe: a
+		// parked thread crossed a safepoint to park (killing its unpinned
+		// raw pointers by the Translate contract), and external code
+		// performs no translations (§4.1.3) — so an idle barrier-initiator
+		// thread, e.g. the kv backend's permanently-external primary, does
+		// not postpone reuse forever.
+		if !s.rt.QuiescentSince(d.snap) {
+			kept = append(kept, d)
+			continue
+		}
+		s.heaps[d.heap].pushHole(hole{off: d.off, size: d.size})
+		drained += d.size
+	}
+	s.deferred = kept
+	return drained
+}
+
+// DeferredBlocks reports how many vacated blocks await their grace period
+// (diagnostics).
+func (s *Service) DeferredBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.deferred)
 }

@@ -1,0 +1,334 @@
+package anchorage
+
+// Race-hardened tests for ConcurrentDefragPass: compaction via the handle
+// table's §7 speculative-move protocol while reader threads translate the
+// same objects, with no stop-the-world barrier. Run under `go test -race`.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"alaska/internal/handle"
+	"alaska/internal/mem"
+	"alaska/internal/rt"
+)
+
+// fragment builds a checkerboard heap: n objects of size bytes, every
+// object not divisible by keep freed, returning the survivors.
+func fragment(t testing.TB, r *rt.Runtime, n int, size uint64, keep int) []handle.Handle {
+	t.Helper()
+	hs := make([]handle.Handle, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := r.Halloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	var live []handle.Handle
+	for i, h := range hs {
+		if i%keep == 0 {
+			live = append(live, h)
+			continue
+		}
+		if err := r.Hfree(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return live
+}
+
+// TestConcurrentDefragPassCompacts verifies the pause-free pass actually
+// compacts: after moving and draining, fragmentation must drop, and every
+// surviving object must still carry its bytes.
+func TestConcurrentDefragPassCompacts(t *testing.T) {
+	space := mem.NewSpace()
+	cfg := DefaultConfig()
+	cfg.SubHeapSize = 256 * 1024
+	svc := NewService(space, cfg)
+	r, err := rt.New(space, svc, rt.WithFaultHandler(RevalidateFaultHandler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := r.NewThread()
+	defer th.Destroy()
+
+	live := fragment(t, r, 4096, 512, 4)
+	for i, h := range live {
+		a, err := th.Translate(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := space.Write(a, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := svc.Fragmentation()
+
+	var total uint64
+	for pass := 0; pass < 100; pass++ {
+		moved := svc.ConcurrentDefragPass(1 << 20)
+		total += moved
+		th.Safepoint() // advance the grace period so vacated blocks drain
+		if moved == 0 {
+			break
+		}
+	}
+	if total == 0 {
+		t.Fatal("concurrent pass moved nothing on a checkerboard heap")
+	}
+	th.Safepoint()
+	svc.DrainDeferred()
+	if svc.DeferredBlocks() != 0 {
+		t.Errorf("%d deferred blocks remain after quiescence", svc.DeferredBlocks())
+	}
+	// One barrier pass to truncate the now-empty tails and release pages
+	// (DefragPass only truncates the sub-heaps its move loop visits, so
+	// give it a real budget; the concurrent passes left it little to do).
+	r.Barrier(th, func(scope *rt.BarrierScope) {
+		svc.DefragPass(scope, 1<<20)
+	})
+	after := svc.Fragmentation()
+	if after >= before {
+		t.Errorf("fragmentation %.3f -> %.3f, want a decrease", before, after)
+	}
+	for i, h := range live {
+		a, err := th.Translate(h)
+		if err != nil {
+			t.Fatalf("object %d: %v", i, err)
+		}
+		buf := make([]byte, 2)
+		if err := space.Read(a, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) || buf[1] != byte(i>>8) {
+			t.Fatalf("object %d: bytes %v after move, want [%d %d]", i, buf, byte(i), byte(i>>8))
+		}
+	}
+}
+
+// TestConcurrentDefragPassUnderReaders runs the pause-free pass while
+// reader threads continuously translate and read the objects being moved.
+// Readers never pause; any reader that catches an entry mid-move faults,
+// revalidates (aborting that move), and proceeds — the pass must stay
+// correct under aborts, and no reader may ever observe wrong bytes.
+func TestConcurrentDefragPassUnderReaders(t *testing.T) {
+	space := mem.NewSpace()
+	cfg := DefaultConfig()
+	cfg.SubHeapSize = 256 * 1024
+	svc := NewService(space, cfg)
+	r, err := rt.New(space, svc, rt.WithFaultHandler(RevalidateFaultHandler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := r.NewThread()
+	live := fragment(t, r, 2048, 512, 4)
+	for i, h := range live {
+		a, err := setup.Translate(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 512)
+		for k := range buf {
+			buf[k] = byte(i)
+		}
+		if err := space.Write(a, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+
+	readers := runtime.GOMAXPROCS(0) - 1
+	if readers < 2 {
+		readers = 2
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := r.NewThread()
+			defer th.Destroy()
+			buf := make([]byte, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				k := (g*37 + i) % len(live)
+				a, err := th.Translate(live[k])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := space.Read(a, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, b := range buf {
+					if b != byte(k) {
+						t.Errorf("object %d: read %#x, want %#x", k, b, byte(k))
+						return
+					}
+				}
+				th.Safepoint()
+			}
+		}(g)
+	}
+
+	var moved uint64
+	passes := 50
+	if testing.Short() {
+		passes = 10
+	}
+	for p := 0; p < passes; p++ {
+		moved += svc.ConcurrentDefragPass(256 * 1024)
+	}
+	close(quit)
+	wg.Wait()
+	if moved == 0 {
+		t.Error("no bytes moved under reader pressure")
+	}
+	svc.DrainDeferred()
+	t.Logf("moved %d bytes in %d passes with %d readers; %d aborts, %d deferred blocks pending",
+		moved, passes, readers, svc.MoveAborts, svc.DeferredBlocks())
+}
+
+// TestConcurrentDefragPassUnderChurn races the pause-free pass against
+// mutators that allocate, write, read, and free objects throughout — the
+// interleavings the pass's per-object locking opens up (an object freed,
+// or freed-and-reallocated, while its copy is in flight must be detected
+// and its copy discarded). Mutators run in CountedPins mode and pin every
+// access via Thread.Pin, making their pins visible to the pass — the §7
+// contract for writing mutators outside a barrier (StackPins pin sets are
+// invisible to a concurrent mover, so writers there need barriers).
+// Run under `go test -race`.
+func TestConcurrentDefragPassUnderChurn(t *testing.T) {
+	space := mem.NewSpace()
+	cfg := DefaultConfig()
+	cfg.SubHeapSize = 128 * 1024
+	svc := NewService(space, cfg)
+	r, err := rt.New(space, svc,
+		rt.WithPinMode(rt.CountedPins),
+		rt.WithFaultHandler(RevalidateFaultHandler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	ops := 6000
+	if testing.Short() {
+		ops = 1200
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	// Background mover: pause-free passes in a loop the whole time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			svc.ConcurrentDefragPass(128 * 1024)
+			svc.DrainDeferred()
+		}
+	}()
+
+	var mwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mwg.Add(1)
+		go func(w int) {
+			defer mwg.Done()
+			th := r.NewThread()
+			defer th.Destroy()
+			type obj struct {
+				h   handle.Handle
+				tag byte
+			}
+			var mine []obj
+			for op := 0; op < ops; op++ {
+				th.Safepoint()
+				switch {
+				case len(mine) < 16 || op%3 == 0:
+					h, err := r.Halloc(256)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					tag := byte(w<<4) | byte(op&0xf)
+					a, unpin, err := th.Pin(h)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					buf := make([]byte, 256)
+					for i := range buf {
+						buf[i] = tag
+					}
+					err = space.Write(a, buf)
+					unpin()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine, obj{h, tag})
+				case op%3 == 1:
+					o := mine[op%len(mine)]
+					a, unpin, err := th.Pin(o.h)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					buf := make([]byte, 256)
+					err = space.Read(a, buf)
+					unpin()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i, b := range buf {
+						if b != o.tag {
+							t.Errorf("worker %d: byte %d = %#x, want %#x", w, i, b, o.tag)
+							return
+						}
+					}
+				default:
+					k := op % len(mine)
+					if err := r.Hfree(mine[k].h); err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine[:k], mine[k+1:]...)
+				}
+			}
+			for _, o := range mine {
+				if err := r.Hfree(o.h); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	mwg.Wait()
+	close(quit)
+	wg.Wait()
+	if live := r.Table.Live(); live != 0 {
+		t.Errorf("Live = %d after teardown, want 0", live)
+	}
+	if svc.ActiveBytes() != 0 {
+		t.Errorf("ActiveBytes = %d after teardown, want 0", svc.ActiveBytes())
+	}
+	t.Logf("%d workers × %d ops under %d concurrent passes: %d bytes moved, %d aborts",
+		workers, ops, svc.ConcurrentPasses, svc.MovedBytes, svc.MoveAborts)
+}

@@ -138,6 +138,9 @@ func smallDefragConfig() DefragConfig {
 // recovers a large fraction without application knowledge, comparable to
 // activedefrag; Mesh recovers some.
 func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow reproduction experiment (~2s); run without -short")
+	}
 	res, err := Figure9(smallDefragConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -185,6 +188,9 @@ func TestFigure9Shape(t *testing.T) {
 // Figure 10's claim: the control parameters span a wide envelope while
 // respecting their overhead bounds.
 func TestFigure10Envelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow reproduction experiment (~6s); run without -short")
+	}
 	base := smallDefragConfig()
 	points, err := Figure10(base,
 		[]float64{1.15, 1.6, 2.6},
@@ -218,6 +224,9 @@ func TestFigure10Envelope(t *testing.T) {
 // Figure 11's claim: at large scale Anchorage still defragments to the
 // activedefrag level but takes longer, throttled by its overhead bound.
 func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow reproduction experiment (~13s); run without -short")
+	}
 	res, err := Figure11(0.125)
 	if err != nil {
 		t.Fatal(err)

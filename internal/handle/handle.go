@@ -10,15 +10,16 @@
 // handle dereferenced as an address faults, as footnote 5 of the paper
 // intends.
 //
-// The handle table is a flat array of fixed-size entries (HTEs), one per
-// live object, so translation is a single load: table[id].Backing + offset.
-// Entries are allocated with a bump pointer and recycled through a free
-// list (free list consulted first), matching §4.2.1.
+// The handle table is an array of fixed-size entries (HTEs), one per live
+// object, so translation is a load chain: table[id].Backing + offset.
+// Entries are allocated with per-shard bump pointers and recycled through
+// free lists (free list consulted first), matching §4.2.1. See sharded.go
+// for the sharded, read-lock-free implementation; locked.go preserves the
+// original single-RWMutex design as an ablation baseline.
 package handle
 
 import (
 	"fmt"
-	"sync"
 
 	"alaska/internal/mem"
 )
@@ -112,244 +113,17 @@ func (e *ErrBadHandle) Error() string {
 	return fmt.Sprintf("handle: %v: %s", e.H, e.Reason)
 }
 
-// Table is the single-level handle table. It is virtually sized for all
-// 2^31 entries but, like the paper's mmap-then-demand-page design, only
-// grows its storage as the bump pointer advances.
-type Table struct {
-	mu      sync.RWMutex
-	entries []Entry
-	free    []uint32 // LIFO free list of recycled IDs
-	bump    uint32   // next never-used ID
-	live    int
-	// peak tracks the high-water mark of live entries, used by tests and
-	// the HTE-density statistic in EXPERIMENTS.md.
-	peak int
-}
-
-// NewTable returns an empty handle table.
-func NewTable() *Table {
-	return &Table{entries: make([]Entry, 0, 1024)}
-}
-
-// Alloc reserves a handle ID and initializes its entry. The free list is
-// consulted before bump allocation (§4.2.1).
-func (t *Table) Alloc(backing mem.Addr, size uint64) (uint32, error) {
-	if size > MaxObjectSize {
-		return 0, fmt.Errorf("handle: object of %d bytes exceeds 4 GiB handle limit", size)
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var id uint32
-	if n := len(t.free); n > 0 {
-		id = t.free[n-1]
-		t.free = t.free[:n-1]
-	} else {
-		if t.bump > MaxID {
-			return 0, ErrTableFull
-		}
-		id = t.bump
-		t.bump++
-		for uint32(len(t.entries)) <= id {
-			t.entries = append(t.entries, Entry{})
-		}
-	}
-	t.entries[id] = Entry{Backing: backing, Size: size, Flags: FlagAllocated}
-	t.live++
-	if t.live > t.peak {
-		t.peak = t.live
-	}
-	return id, nil
-}
-
-// Free releases an entry back to the free list.
-func (t *Table) Free(id uint32) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return &ErrBadHandle{Make(id, 0), "free of unallocated handle"}
-	}
-	t.entries[id] = Entry{}
-	t.free = append(t.free, id)
-	t.live--
-	return nil
-}
-
-// Translate resolves a handle word to a raw simulated address:
-// table[id].Backing + offset. Raw pointers pass through unchanged, matching
-// the paper's translation function (§4.1.2). If the entry carries
-// FlagInvalid, ErrHandleFault is returned so the runtime can dispatch a
-// handle fault (§7).
-func (t *Table) Translate(h Handle) (mem.Addr, error) {
-	if !h.IsHandle() {
-		return mem.Addr(h), nil
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	id := h.ID()
-	if int(id) >= len(t.entries) {
-		return 0, &ErrBadHandle{h, "id out of range"}
-	}
-	e := &t.entries[id]
-	if e.Flags&FlagAllocated == 0 {
-		return 0, &ErrBadHandle{h, "translate of freed handle"}
-	}
-	if e.Flags&FlagInvalid != 0 {
-		return 0, ErrHandleFault
-	}
-	if uint64(h.Offset()) >= e.Size {
-		return 0, &ErrBadHandle{h, fmt.Sprintf("offset %d outside %d-byte object", h.Offset(), e.Size)}
-	}
-	return e.Backing + mem.Addr(h.Offset()), nil
-}
-
 // ErrHandleFault signals that a translation hit an invalidated entry and
 // the runtime's fault path must run.
 var ErrHandleFault = fmt.Errorf("handle: fault (entry invalid)")
 
-// Get returns a copy of the entry for id.
-func (t *Table) Get(id uint32) (Entry, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return Entry{}, &ErrBadHandle{Make(id, 0), "get of unallocated handle"}
-	}
-	return t.entries[id], nil
-}
+// Table is the handle table type the rest of the repository programs
+// against. It is an alias for the sharded, read-lock-free implementation
+// (sharded.go), kept so the seed's call sites — which predate sharding —
+// migrate without source changes. New code may use ShardedTable directly;
+// the original single-RWMutex design survives as LockedTable (locked.go)
+// for the scaling ablation.
+type Table = ShardedTable
 
-// SetBacking points the entry's backing storage at a new address — the
-// O(1) relocation update.
-func (t *Table) SetBacking(id uint32, backing mem.Addr) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return &ErrBadHandle{Make(id, 0), "SetBacking of unallocated handle"}
-	}
-	t.entries[id].Backing = backing
-	return nil
-}
-
-// SetInvalid sets or clears the handle-fault bit on an entry.
-func (t *Table) SetInvalid(id uint32, invalid bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return &ErrBadHandle{Make(id, 0), "SetInvalid of unallocated handle"}
-	}
-	if invalid {
-		t.entries[id].Flags |= FlagInvalid
-	} else {
-		t.entries[id].Flags &^= FlagInvalid
-	}
-	return nil
-}
-
-// BeginSpeculativeMove transitions a valid entry to the invalid ("moving")
-// state and returns a snapshot of it — the first step of the §7 concurrent
-// relocation protocol. It fails if the entry is free or already moving.
-func (t *Table) BeginSpeculativeMove(id uint32) (Entry, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return Entry{}, &ErrBadHandle{Make(id, 0), "speculative move of unallocated handle"}
-	}
-	if t.entries[id].Flags&FlagInvalid != 0 {
-		return Entry{}, &ErrBadHandle{Make(id, 0), "entry already moving/invalid"}
-	}
-	t.entries[id].Flags |= FlagInvalid
-	return t.entries[id], nil
-}
-
-// CommitSpeculativeMove atomically completes a speculative move: if the
-// entry is still in the moving state, its backing is swung to newAddr and
-// it is revalidated (the protocol's successful CAS), returning true. If a
-// concurrent accessor already revalidated the entry (the abort path), it
-// returns false and the entry is untouched.
-func (t *Table) CommitSpeculativeMove(id uint32, newAddr mem.Addr) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return false
-	}
-	if t.entries[id].Flags&FlagInvalid == 0 {
-		return false // revalidated by an accessor: move aborted
-	}
-	t.entries[id].Backing = newAddr
-	t.entries[id].Flags &^= FlagInvalid
-	return true
-}
-
-// Revalidate transitions a moving entry back to valid with its original
-// backing — the accessor's side of the §7 protocol (run from the handle-
-// fault handler). It returns true if this call performed the transition
-// (thereby aborting any in-flight move), false if the entry was already
-// valid.
-func (t *Table) Revalidate(id uint32) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return false, &ErrBadHandle{Make(id, 0), "revalidate of unallocated handle"}
-	}
-	if t.entries[id].Flags&FlagInvalid == 0 {
-		return false, nil
-	}
-	t.entries[id].Flags &^= FlagInvalid
-	return true, nil
-}
-
-// AddPin adjusts the per-entry atomic pin count (ablation path only).
-func (t *Table) AddPin(id uint32, delta int32) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
-		return &ErrBadHandle{Make(id, 0), "pin of unallocated handle"}
-	}
-	t.entries[id].Pins += delta
-	if t.entries[id].Pins < 0 {
-		return &ErrBadHandle{Make(id, 0), "pin count underflow"}
-	}
-	return nil
-}
-
-// PinCount returns the per-entry pin count (ablation path only).
-func (t *Table) PinCount(id uint32) int32 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if int(id) >= len(t.entries) {
-		return 0
-	}
-	return t.entries[id].Pins
-}
-
-// Live returns the number of allocated entries.
-func (t *Table) Live() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.live
-}
-
-// Peak returns the high-water mark of live entries.
-func (t *Table) Peak() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.peak
-}
-
-// Extent returns how many IDs the bump allocator has ever handed out; the
-// table's memory overhead is Extent() HTEs regardless of recycling.
-func (t *Table) Extent() uint32 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.bump
-}
-
-// ForEachLive calls fn for every allocated entry. The table lock is held
-// for the duration; fn must not call back into the table.
-func (t *Table) ForEachLive(fn func(id uint32, e Entry)) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for id := uint32(0); id < uint32(len(t.entries)); id++ {
-		if t.entries[id].Flags&FlagAllocated != 0 {
-			fn(id, t.entries[id])
-		}
-	}
-}
+// NewTable returns an empty handle table.
+func NewTable() *Table { return NewShardedTable() }

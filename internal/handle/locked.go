@@ -1,0 +1,103 @@
+// LockedTable preserves the seed's single-RWMutex handle table as an
+// ablation baseline. Every operation — including the hot Translate path —
+// serializes on one global lock, so it cannot scale past one core; the
+// root BenchmarkTranslateParallel / BenchmarkAllocFreeParallel benchmarks
+// run it head-to-head against the sharded table to quantify what sharding
+// and atomic publication buy. It is not used by the runtime.
+package handle
+
+import (
+	"fmt"
+	"sync"
+
+	"alaska/internal/mem"
+)
+
+// LockedTable is the original single-level, single-mutex handle table.
+type LockedTable struct {
+	mu      sync.RWMutex
+	entries []Entry
+	free    []uint32 // LIFO free list of recycled IDs
+	bump    uint32   // next never-used ID
+	live    int
+	peak    int
+}
+
+// NewLockedTable returns an empty single-mutex handle table.
+func NewLockedTable() *LockedTable {
+	return &LockedTable{entries: make([]Entry, 0, 1024)}
+}
+
+// Alloc reserves a handle ID and initializes its entry. The free list is
+// consulted before bump allocation (§4.2.1).
+func (t *LockedTable) Alloc(backing mem.Addr, size uint64) (uint32, error) {
+	if size > MaxObjectSize {
+		return 0, fmt.Errorf("handle: object of %d bytes exceeds 4 GiB handle limit", size)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var id uint32
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		if t.bump > MaxID {
+			return 0, ErrTableFull
+		}
+		id = t.bump
+		t.bump++
+		for uint32(len(t.entries)) <= id {
+			t.entries = append(t.entries, Entry{})
+		}
+	}
+	t.entries[id] = Entry{Backing: backing, Size: size, Flags: FlagAllocated}
+	t.live++
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+	return id, nil
+}
+
+// Free releases an entry back to the free list.
+func (t *LockedTable) Free(id uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.entries) || t.entries[id].Flags&FlagAllocated == 0 {
+		return &ErrBadHandle{Make(id, 0), "free of unallocated handle"}
+	}
+	t.entries[id] = Entry{}
+	t.free = append(t.free, id)
+	t.live--
+	return nil
+}
+
+// Translate resolves a handle word under the table's read lock.
+func (t *LockedTable) Translate(h Handle) (mem.Addr, error) {
+	if !h.IsHandle() {
+		return mem.Addr(h), nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id := h.ID()
+	if int(id) >= len(t.entries) {
+		return 0, &ErrBadHandle{h, "id out of range"}
+	}
+	e := &t.entries[id]
+	if e.Flags&FlagAllocated == 0 {
+		return 0, &ErrBadHandle{h, "translate of freed handle"}
+	}
+	if e.Flags&FlagInvalid != 0 {
+		return 0, ErrHandleFault
+	}
+	if uint64(h.Offset()) >= e.Size {
+		return 0, &ErrBadHandle{h, fmt.Sprintf("offset %d outside %d-byte object", h.Offset(), e.Size)}
+	}
+	return e.Backing + mem.Addr(h.Offset()), nil
+}
+
+// Live returns the number of allocated entries.
+func (t *LockedTable) Live() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}

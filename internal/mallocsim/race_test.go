@@ -1,0 +1,76 @@
+package mallocsim
+
+// Race-detector stress test for the size-class allocator behind the
+// runtime's service interface: concurrent Alloc/Free/UsableSize across all
+// size classes, including the run-recycling and purge paths. The allocator
+// is the backing store for every multi-threaded baseline (Figure 12), so
+// it must be safe under the same goroutine parallelism the sharded handle
+// table now permits. Run under `go test -race ./internal/mallocsim`.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"alaska/internal/mem"
+)
+
+func TestAllocatorConcurrentRace(t *testing.T) {
+	space := mem.NewSpace()
+	svc := NewService(space)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	ops := 20000
+	if testing.Short() {
+		ops = 4000
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			type obj struct {
+				addr mem.Addr
+				size uint64
+			}
+			var mine []obj
+			for op := 0; op < ops; op++ {
+				if len(mine) == 0 || rng.Intn(2) == 0 {
+					// Mix small classes with the large (>2048B) mmap path.
+					size := uint64(8 << rng.Intn(9))
+					a, err := svc.Alloc(uint32(w), size)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got := svc.UsableSize(a); got < size {
+						t.Errorf("UsableSize(%#x) = %d < requested %d", a, got, size)
+						return
+					}
+					mine = append(mine, obj{a, size})
+				} else {
+					k := rng.Intn(len(mine))
+					if err := svc.Free(uint32(w), mine[k].addr, mine[k].size); err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine[:k], mine[k+1:]...)
+				}
+			}
+			for _, o := range mine {
+				if err := svc.Free(uint32(w), o.addr, o.size); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := svc.ActiveBytes(); got != 0 {
+		t.Errorf("ActiveBytes = %d after full teardown, want 0", got)
+	}
+}

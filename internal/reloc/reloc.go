@@ -8,6 +8,13 @@
 // mover observes the failed commit and discards its copy. This mirrors the
 // self-healing/forwarding race resolution of concurrent compactors like
 // Shenandoah, built from nothing but the handle table.
+//
+// With the sharded table, each protocol step really is the single CAS the
+// paper describes — BeginSpeculativeMove, Revalidate, and
+// CommitSpeculativeMove all compare-and-swap the entry's atomically
+// published word, and concurrent translations proceed lock-free — so the
+// mover contends with readers only on the entries actually in flight,
+// never on a table-wide lock.
 package reloc
 
 import (

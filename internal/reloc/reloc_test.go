@@ -185,6 +185,9 @@ func TestArenaExhaustionRollsBack(t *testing.T) {
 // mover relocates them; every read must see the object's immutable tag,
 // and commits+aborts must cover all attempts.
 func TestConcurrentMovesAndAccesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow concurrency soak (~4.5s); run without -short")
+	}
 	r, mover, space := newRelocRuntime(t)
 	const nObjs = 128
 	handles := make([]handle.Handle, nObjs)

@@ -1,0 +1,270 @@
+package rt_test
+
+// Race-detector stress tests for the runtime over the sharded lock-free
+// handle table: many mutator threads doing halloc/hfree/translate/pin
+// concurrently with stop-the-world barriers that relocate their objects,
+// and with §7 speculative movers racing translation. Run with
+// `go test -race ./internal/rt`.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"alaska/internal/anchorage"
+	"alaska/internal/handle"
+	"alaska/internal/mallocsim"
+	"alaska/internal/mem"
+	"alaska/internal/reloc"
+	"alaska/internal/rt"
+)
+
+// TestRuntimeConcurrentStress runs GOMAXPROCS mutator threads against a
+// defragmenting Anchorage service. Each mutator churns private objects
+// (halloc → write → translate-and-pin → verify → hfree) while a control
+// goroutine keeps initiating barriers that compact the heap, so every
+// translation races relocation and every alloc/free races the barrier
+// rendezvous. Exercised in both pin-tracking modes.
+func TestRuntimeConcurrentStress(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		m    rt.PinMode
+	}{{"StackPins", rt.StackPins}, {"CountedPins", rt.CountedPins}} {
+		t.Run(mode.name, func(t *testing.T) {
+			space := mem.NewSpace()
+			svc := anchorage.NewService(space, anchorage.DefaultConfig())
+			r, err := rt.New(space, svc, rt.WithPinMode(mode.m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers := runtime.GOMAXPROCS(0)
+			if workers < 4 {
+				workers = 4
+			}
+			ops := 4000
+			if testing.Short() {
+				ops = 800
+			}
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			// Defrag controller: barrier + compaction in a tight loop.
+			var barriers atomic.Int64
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					r.Barrier(nil, func(scope *rt.BarrierScope) {
+						svc.DefragPass(scope, 1<<20)
+					})
+					barriers.Add(1)
+				}
+			}()
+
+			var mwg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				mwg.Add(1)
+				go func(w int) {
+					defer mwg.Done()
+					th := r.NewThread()
+					defer func() {
+						if err := th.Destroy(); err != nil {
+							t.Error(err)
+						}
+					}()
+					rng := rand.New(rand.NewSource(int64(w)))
+					type obj struct {
+						h    handle.Handle
+						tag  byte
+						size uint64
+					}
+					var mine []obj
+					th.PushFrame(1)
+					defer th.PopFrame()
+					for op := 0; op < ops; op++ {
+						th.Safepoint()
+						switch {
+						case len(mine) < 8 || rng.Intn(3) == 0:
+							size := uint64(16 + rng.Intn(480))
+							h, err := r.Halloc(size)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							tag := byte(w<<4) | byte(op&0xf)
+							a, err := th.TranslateAndPin(h, 0)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							buf := make([]byte, size)
+							for i := range buf {
+								buf[i] = tag
+							}
+							if err := space.Write(a, buf); err != nil {
+								t.Error(err)
+								return
+							}
+							mine = append(mine, obj{h, tag, size})
+						case rng.Intn(2) == 0:
+							// Verify an object's contents through a fresh
+							// pinned translation: relocation must never tear
+							// or lose the bytes.
+							o := mine[rng.Intn(len(mine))]
+							a, err := th.TranslateAndPin(o.h, 0)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							buf := make([]byte, o.size)
+							if err := space.Read(a, buf); err != nil {
+								t.Error(err)
+								return
+							}
+							for i, b := range buf {
+								if b != o.tag {
+									t.Errorf("worker %d: byte %d = %#x, want %#x (object moved unsafely)", w, i, b, o.tag)
+									return
+								}
+							}
+						default:
+							k := rng.Intn(len(mine))
+							if err := r.Hfree(mine[k].h); err != nil {
+								t.Error(err)
+								return
+							}
+							mine = append(mine[:k], mine[k+1:]...)
+						}
+					}
+					for _, o := range mine {
+						if err := r.Hfree(o.h); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			mwg.Wait()
+			close(stop)
+			wg.Wait()
+			if live := r.Table.Live(); live != 0 {
+				t.Errorf("Live = %d after teardown, want 0", live)
+			}
+			if barriers.Load() == 0 {
+				t.Error("controller never completed a barrier")
+			}
+			t.Logf("%d workers × %d ops, %d defrag barriers, %d objects moved",
+				workers, ops, barriers.Load(), r.Stats().MovedObject.Load())
+			if err := r.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSpeculativeMoveTranslateRace drives the §7 protocol end-to-end over
+// the malloc service: reader threads translate a fixed working set (with
+// safepoint polls) while a mover thread speculatively relocates the same
+// objects through the reloc arena. Every translation must resolve to
+// either the old or the new copy — both carry the same bytes — and the
+// commit/abort accounting must reconcile.
+func TestSpeculativeMoveTranslateRace(t *testing.T) {
+	space := mem.NewSpace()
+	var mover *reloc.Mover
+	r, err := rt.New(space, mallocsim.NewService(space), rt.WithFaultHandler(func(r *rt.Runtime, id uint32) error {
+		return mover.Handler()(r, id)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena, err := reloc.NewRegionAllocator(space, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mover = reloc.NewMover(r, arena)
+
+	const nObjs = 128
+	const size = 128
+	hs := make([]handle.Handle, nObjs)
+	for i := range hs {
+		h, err := r.Halloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = h
+		th := r.NewThread()
+		a, err := th.Translate(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, size)
+		for k := range buf {
+			buf[k] = byte(i)
+		}
+		if err := space.Write(a, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 3 {
+		readers = 3
+	}
+	iters := 20000
+	if testing.Short() {
+		iters = 4000
+	}
+	var wg sync.WaitGroup
+	quit := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := r.NewThread()
+			defer th.Destroy()
+			buf := make([]byte, 1)
+			for i := 0; ; i++ {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				k := (g*31 + i) % nObjs
+				a, err := th.Translate(hs[k].Add(int64(i % size)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := space.Read(a, buf); err == nil && buf[0] != byte(k) {
+					t.Errorf("object %d read %#x, want %#x", k, buf[0], byte(k))
+					return
+				}
+				th.Safepoint()
+			}
+		}(g)
+	}
+	for i := 0; i < iters; i++ {
+		if _, err := mover.TryMove(hs[i%nObjs].ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(quit)
+	wg.Wait()
+	mover.Reclaim()
+	total := mover.Commits.Load() + mover.Aborts.Load()
+	if total != int64(iters) {
+		t.Errorf("commits+aborts = %d, want %d", total, iters)
+	}
+	t.Logf("%d moves: %d commits, %d aborts, %d old copies reclaimed, %d faults",
+		iters, mover.Commits.Load(), mover.Aborts.Load(), mover.Reclaimed.Load(), r.Stats().Faults.Load())
+}

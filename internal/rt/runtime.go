@@ -73,6 +73,10 @@ const (
 // Runtime is the Alaska core runtime instance.
 type Runtime struct {
 	Space *mem.Space
+	// Table is the sharded, read-lock-free handle table: Translate is a
+	// pure atomic load chain, so mutator threads scale across cores and
+	// the §7 speculative-move protocol can relocate objects while they
+	// translate concurrently (see internal/handle/sharded.go).
 	Table *handle.Table
 
 	svc     Service
@@ -208,6 +212,11 @@ func (r *Runtime) SizeOf(h handle.Handle) (uint64, error) {
 }
 
 // translate resolves h, running the fault path if the entry is invalid.
+// The common case is entirely lock-free: Table.Translate performs atomic
+// loads only, so concurrent translations never serialize — the property
+// the paper's low overhead rests on. The retry loop is the accessor side
+// of §7: a fault handler that revalidates (or swaps in) the entry lets the
+// next iteration succeed at the restored address.
 func (r *Runtime) translate(h handle.Handle) (mem.Addr, error) {
 	for {
 		a, err := r.Table.Translate(h)

@@ -115,6 +115,9 @@ func (t *Thread) TranslateAndPin(h handle.Handle, slot int) (mem.Addr, error) {
 	if slot < 0 || slot >= len(fr) {
 		return 0, fmt.Errorf("rt: pin slot %d out of range (frame has %d)", slot, len(fr))
 	}
+	// CountedPins (the §3.4 strawman) now costs exactly what the paper
+	// charges it with: a cross-core atomic RMW per pin — the sharded table
+	// no longer adds a global lock on top.
 	if t.rt.pinMode == CountedPins {
 		if old := fr[slot]; old.IsHandle() {
 			_ = t.rt.Table.AddPin(old.ID(), -1)
