@@ -1,0 +1,222 @@
+// Command alaska-loadgen drives an alaskad server (or any memcached-
+// ASCII-protocol server) with YCSB workload mixes over real TCP
+// connections and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	alaska-loadgen -addr localhost:11211 -workload ycsb-a -connections 8 -duration 10s
+//	alaska-loadgen -workload ycsb-b -records 50000 -value-size 1024 -csv
+//
+// Each connection runs on its own goroutine with its own scrambled-
+// zipfian generator, mirroring how memcached benchmarks (and the
+// paper's Figure 12 harness) spread load across client threads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alaska/internal/server"
+	"alaska/internal/stats"
+	"alaska/internal/ycsb"
+)
+
+func parseWorkload(s string) (ycsb.Workload, error) {
+	switch strings.ToLower(strings.TrimPrefix(strings.ToLower(s), "ycsb-")) {
+	case "a":
+		return ycsb.WorkloadA, nil
+	case "b":
+		return ycsb.WorkloadB, nil
+	case "c":
+		return ycsb.WorkloadC, nil
+	case "f":
+		return ycsb.WorkloadF, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q (want ycsb-a|ycsb-b|ycsb-c|ycsb-f)", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("alaska-loadgen: ")
+	addr := flag.String("addr", "localhost:11211", "server address")
+	workloadFlag := flag.String("workload", "ycsb-a", "YCSB mix: ycsb-a|ycsb-b|ycsb-c|ycsb-f")
+	conns := flag.Int("connections", 8, "concurrent client connections")
+	records := flag.Int("records", 10000, "preloaded record count")
+	valueSize := flag.Int("value-size", 512, "value payload bytes")
+	valueJitter := flag.Float64("value-jitter", 0, "randomize update sizes down to (1-jitter)*value-size; nonzero churns the heap into fragmentation")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length")
+	seed := flag.Int64("seed", 42, "base RNG seed")
+	showStats := flag.Bool("server-stats", true, "fetch and print server stats after the run")
+	csv := flag.Bool("csv", false, "emit a one-line CSV result instead of the report")
+	flag.Parse()
+
+	w, err := parseWorkload(*workloadFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *conns < 1 || *records < 1 {
+		log.Fatal("-connections and -records must be positive")
+	}
+	if *valueJitter < 0 || *valueJitter > 1 {
+		log.Fatal("-value-jitter must be in [0,1]")
+	}
+
+	// Load phase: split the keyspace across connections, pipelined with
+	// noreply for speed, then a synchronous version round-trip per
+	// connection to barrier on completion.
+	loadStart := time.Now()
+	var wg sync.WaitGroup
+	var loadErr atomic.Value
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := server.Dial(*addr)
+			if err != nil {
+				loadErr.Store(err)
+				return
+			}
+			defer cl.Close()
+			val := make([]byte, *valueSize)
+			for i := range val {
+				val[i] = byte(i)
+			}
+			for i := c; i < *records; i += *conns {
+				if err := cl.SetNoreply(ycsb.Key(uint64(i)), 0, val); err != nil {
+					loadErr.Store(err)
+					return
+				}
+				if i%256 == 0 {
+					if err := cl.Flush(); err != nil {
+						loadErr.Store(err)
+						return
+					}
+				}
+			}
+			if _, err := cl.Version(); err != nil { // flush + sync
+				loadErr.Store(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if e := loadErr.Load(); e != nil {
+		log.Fatalf("load phase: %v", e)
+	}
+	loadDur := time.Since(loadStart)
+
+	// Run phase.
+	recorders := make([]*stats.LatencyRecorder, *conns)
+	var totalOps, errOps atomic.Int64
+	deadline := time.Now().Add(*duration)
+	for c := 0; c < *conns; c++ {
+		recorders[c] = stats.NewLatencyRecorder()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := server.Dial(*addr)
+			if err != nil {
+				errOps.Add(1)
+				return
+			}
+			defer cl.Close()
+			gen, err := ycsb.NewGenerator(w, *records, *valueSize, *seed+int64(c)+1)
+			if err != nil {
+				errOps.Add(1)
+				return
+			}
+			val := make([]byte, *valueSize)
+			rec := recorders[c]
+			rng := rand.New(rand.NewSource(*seed + 1000 + int64(c)))
+			size := func(n int) int {
+				if *valueJitter == 0 {
+					return n
+				}
+				s := n - int(*valueJitter*rng.Float64()*float64(n))
+				if s < 1 {
+					s = 1
+				}
+				return s
+			}
+			for time.Now().Before(deadline) {
+				op := gen.Next()
+				start := time.Now()
+				var opErr error
+				switch op.Type {
+				case ycsb.Read:
+					_, _, _, opErr = cl.Get(op.Key)
+				case ycsb.ReadModifyWrite:
+					if _, _, _, opErr = cl.Get(op.Key); opErr == nil {
+						opErr = cl.Set(op.Key, 0, val[:size(op.ValueSize)])
+					}
+				default: // Update / Insert
+					opErr = cl.Set(op.Key, 0, val[:size(op.ValueSize)])
+				}
+				if opErr != nil {
+					errOps.Add(1)
+					return
+				}
+				rec.Record(time.Since(start))
+				totalOps.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	merged := stats.NewLatencyRecorder()
+	for _, r := range recorders {
+		merged.Merge(r)
+	}
+	ops := totalOps.Load()
+	throughput := float64(ops) / duration.Seconds()
+
+	if *csv {
+		fmt.Println("workload,connections,records,value_bytes,duration_s,ops,ops_per_s,errors,mean_us,p50_us,p99_us,p999_us,max_us")
+		fmt.Printf("%s,%d,%d,%d,%.2f,%d,%.0f,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+			*workloadFlag, *conns, *records, *valueSize, duration.Seconds(), ops, throughput, errOps.Load(),
+			us(merged.Mean()), us(merged.Percentile(50)), us(merged.Percentile(99)),
+			us(merged.Percentile(99.9)), us(merged.Max()))
+	} else {
+		fmt.Printf("workload=%s connections=%d records=%d value=%dB\n",
+			strings.ToUpper(*workloadFlag), *conns, *records, *valueSize)
+		fmt.Printf("load: %d records in %v\n", *records, loadDur.Round(time.Millisecond))
+		fmt.Printf("run: %d ops in %v = %.0f ops/s, errors: %d\n",
+			ops, *duration, throughput, errOps.Load())
+		fmt.Printf("latency: mean=%v p50=%v p99=%v p999=%v max=%v\n",
+			merged.Mean(), merged.Percentile(50), merged.Percentile(99),
+			merged.Percentile(99.9), merged.Max())
+	}
+
+	if *showStats {
+		cl, err := server.Dial(*addr)
+		if err != nil {
+			log.Fatalf("stats fetch: %v", err)
+		}
+		st, err := cl.Stats()
+		cl.Close()
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		keys := make([]string, 0, len(st))
+		for k := range st {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("server stats after run:")
+		for _, k := range keys {
+			fmt.Printf("  %s %s\n", k, st[k])
+		}
+	}
+	if errOps.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -156,6 +156,32 @@ type Service struct {
 	MoveAborts       int64
 }
 
+// Metrics is a consistent snapshot of the service's defragmentation
+// counters. The counter fields on Service are written under the service
+// lock, so concurrent readers (e.g. alaskad's `stats` command while a
+// pass runs) must go through this accessor rather than reading the
+// fields directly.
+type Metrics struct {
+	Passes, ConcurrentPasses, MoveAborts int64
+	MovedBytes, Truncated, ShrunkBytes   int64
+	DeferredBlocks                       int
+}
+
+// MetricsSnapshot returns the counters under the service lock.
+func (s *Service) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Passes:           s.Passes,
+		ConcurrentPasses: s.ConcurrentPasses,
+		MoveAborts:       s.MoveAborts,
+		MovedBytes:       s.MovedBytes,
+		Truncated:        s.Truncated,
+		ShrunkBytes:      s.ShrunkBytes,
+		DeferredBlocks:   len(s.deferred),
+	}
+}
+
 // deferredBlock is a vacated source block awaiting grace-period reuse.
 type deferredBlock struct {
 	heap int

@@ -100,15 +100,13 @@ func RunMemcached(alaska bool, cfg MemcachedConfig) (MemcachedResult, error) {
 	var totalOps atomic.Int64
 	var wg sync.WaitGroup
 	quit := make(chan struct{})
-	hists := make([]*stats.Histogram, cfg.Threads)
-	// Microsecond-scale buckets up to 50 ms.
-	var bounds []float64
-	for us := 1.0; us < 50_000; us *= 1.3 {
-		bounds = append(bounds, us)
-	}
+	// One recorder per worker (uncontended on the hot path), merged for
+	// the report — the same instrument alaskad's stats command and the
+	// loadgen report use.
+	recs := make([]*stats.LatencyRecorder, cfg.Threads)
 
 	for w := 0; w < cfg.Threads; w++ {
-		hists[w] = stats.NewHistogram(bounds)
+		recs[w] = stats.NewLatencyRecorder()
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -134,7 +132,7 @@ func RunMemcached(alaska bool, cfg MemcachedConfig) (MemcachedResult, error) {
 				if err != nil {
 					return
 				}
-				hists[w].Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+				recs[w].Record(time.Since(start))
 				totalOps.Add(1)
 				sess.Safepoint()
 			}
@@ -173,19 +171,13 @@ func RunMemcached(alaska bool, cfg MemcachedConfig) (MemcachedResult, error) {
 	close(quit)
 	wg.Wait()
 
-	var sum float64
-	var n int64
-	var p99s []float64
-	for _, h := range hists {
-		sum += h.Mean() * float64(h.Count())
-		n += h.Count()
-		p99s = append(p99s, h.Quantile(0.99))
+	merged := stats.NewLatencyRecorder()
+	for _, r := range recs {
+		merged.Merge(r)
 	}
 	res.Ops = totalOps.Load()
-	if n > 0 {
-		res.AvgLatency = time.Duration(sum / float64(n) * 1e3)
-	}
-	res.P99 = time.Duration(stats.Mean(p99s) * 1e3)
+	res.AvgLatency = merged.Mean()
+	res.P99 = merged.Percentile(99)
 	res.MaxPause = time.Duration(maxPause.Load())
 	res.Pauses = pauses.Load()
 	return res, nil

@@ -9,6 +9,7 @@
 package kv
 
 import (
+	"sync"
 	"time"
 
 	"alaska/internal/anchorage"
@@ -33,6 +34,15 @@ type Session interface {
 	Write(ref Ref, off uint64, b []byte) error
 	// Safepoint polls for a runtime barrier (no-op outside Alaska).
 	Safepoint()
+	// EnterIdle marks the session's thread as blocked outside instrumented
+	// code — e.g. waiting on a socket — so a stop-the-world barrier does
+	// not wait for it (the external-thread rule of §4.1.3). The caller
+	// must not touch the store between EnterIdle and ExitIdle. No-op
+	// outside Alaska.
+	EnterIdle()
+	// ExitIdle returns the thread to instrumented code, parking first if a
+	// barrier is in flight. No-op outside Alaska.
+	ExitIdle()
 	// Close releases the session.
 	Close() error
 }
@@ -103,6 +113,8 @@ func (s rawSession) Write(ref Ref, off uint64, b []byte) error {
 	return s.space.Write(mem.Addr(ref)+mem.Addr(off), b)
 }
 func (s rawSession) Safepoint()   {}
+func (s rawSession) EnterIdle()   {}
+func (s rawSession) ExitIdle()    {}
 func (s rawSession) Close() error { return nil }
 
 // ---------------------------------------------------------------------------
@@ -211,6 +223,11 @@ type MeshBackend struct {
 	// Probes per round per size class.
 	Probes int
 
+	// mu serializes access to A: unlike mallocsim, the mesh allocator has
+	// no internal locking (the figure experiments drive it from one
+	// thread), and alaskad's connection goroutines alloc/free it
+	// concurrently with the maintenance goroutine's meshing rounds.
+	mu   sync.Mutex
 	next time.Duration
 }
 
@@ -228,21 +245,37 @@ func (b *MeshBackend) NewSession() Session { return rawSession{b.Space} }
 
 // Alloc implements Backend.
 func (b *MeshBackend) Alloc(size uint64) (Ref, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	a, err := b.A.Alloc(size)
 	return Ref(a), err
 }
 
 // Free implements Backend.
-func (b *MeshBackend) Free(ref Ref, _ uint64) error { return b.A.Free(mem.Addr(ref)) }
+func (b *MeshBackend) Free(ref Ref, _ uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.A.Free(mem.Addr(ref))
+}
 
 // UsedBytes implements Backend.
-func (b *MeshBackend) UsedBytes() uint64 { return b.A.ActiveBytes() }
+func (b *MeshBackend) UsedBytes() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.A.ActiveBytes()
+}
 
 // RSS implements Backend (Mesh's page-sharing accounting).
-func (b *MeshBackend) RSS() uint64 { return b.A.RSS() }
+func (b *MeshBackend) RSS() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.A.RSS()
+}
 
 // Maintain implements Backend: periodic meshing.
 func (b *MeshBackend) Maintain(now time.Duration) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if now < b.next {
 		return 0
 	}
@@ -268,11 +301,16 @@ type AnchorageBackend struct {
 }
 
 // NewAnchorageBackend builds the full Alaska stack with an Anchorage
-// service.
-func NewAnchorageBackend(cfg anchorage.Config) (*AnchorageBackend, error) {
+// service. The §7 revalidate fault handler is installed by default so the
+// service's pause-free ConcurrentDefragPass can run against the backend;
+// extra runtime options (e.g. rt.WithPinMode(rt.CountedPins), required
+// when writers run concurrently with that pass — see alaskad) are
+// appended and may override the defaults.
+func NewAnchorageBackend(cfg anchorage.Config, opts ...rt.Option) (*AnchorageBackend, error) {
 	space := mem.NewSpace()
 	svc := anchorage.NewService(space, cfg)
-	r, err := rt.New(space, svc)
+	r, err := rt.New(space, svc,
+		append([]rt.Option{rt.WithFaultHandler(anchorage.RevalidateFaultHandler())}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +394,8 @@ func (s *handleSession) Write(ref Ref, off uint64, b []byte) error {
 }
 
 func (s *handleSession) Safepoint() { s.th.Safepoint() }
+func (s *handleSession) EnterIdle() { s.th.EnterExternal() }
+func (s *handleSession) ExitIdle()  { s.th.ExitExternal() }
 
 func (s *handleSession) Close() error {
 	if s.keep {

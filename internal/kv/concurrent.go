@@ -8,9 +8,10 @@ import (
 )
 
 // ShardedStore is the memcached-like concurrent store used by the
-// Figure 12 experiment: a fixed set of mutex-protected shards, accessed by
-// worker goroutines that each hold their own Session (and, under Alaska,
-// their own runtime thread with pin sets and safepoints).
+// Figure 12 experiment and the alaskad server: a fixed set of
+// mutex-protected shards, accessed by worker goroutines that each hold
+// their own Session (and, under Alaska, their own runtime thread with pin
+// sets and safepoints).
 type ShardedStore struct {
 	backend Backend
 	shards  []*shard
@@ -23,7 +24,21 @@ type shard struct {
 	index map[string]*entry
 	lru   *list.List
 	used  uint64
+	stats StatsSnapshot // per-shard counters, aggregated by Snapshot
 }
+
+// SetMode selects the conditional-store semantics of SetWith, mirroring
+// the memcached storage commands.
+type SetMode int
+
+const (
+	// SetAlways stores unconditionally (memcached `set`).
+	SetAlways SetMode = iota
+	// SetAdd stores only if the key is absent (memcached `add`).
+	SetAdd
+	// SetReplace stores only if the key is present (memcached `replace`).
+	SetReplace
+)
 
 // NewShardedStore builds a store with n shards.
 func NewShardedStore(b Backend, n int, maxPerShard uint64) *ShardedStore {
@@ -46,66 +61,115 @@ func (s *ShardedStore) shardFor(key string) *shard {
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
+// removeLocked frees e's storage and unlinks it. Caller holds sh.mu.
+func (s *ShardedStore) removeLocked(sh *shard, e *entry) {
+	sh.used -= e.size
+	_ = s.backend.Free(e.ref, e.size)
+	sh.lru.Remove(e.el)
+	delete(sh.index, e.key)
+}
+
 // Set stores key=value through the worker's session.
 func (s *ShardedStore) Set(sess Session, key string, value []byte) error {
+	_, err := s.SetWith(sess, key, value, SetAlways)
+	return err
+}
+
+// SetWith stores key=value under the given conditional mode, reporting
+// whether the value was stored. The existence check and the store are one
+// critical section, so concurrent add/replace races resolve like
+// memcached's: exactly one concurrent `add` of a key wins.
+func (s *ShardedStore) SetWith(sess Session, key string, value []byte, mode SetMode) (bool, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if old, ok := sh.index[key]; ok {
-		sh.used -= old.size
-		_ = s.backend.Free(old.ref, old.size)
-		sh.lru.Remove(old.el)
-		delete(sh.index, key)
+	sh.stats.Sets++
+	_, exists := sh.index[key]
+	switch mode {
+	case SetAdd:
+		if exists {
+			return false, nil
+		}
+	case SetReplace:
+		if !exists {
+			return false, nil
+		}
 	}
+	// Make room counting the old value as gone-to-be: it is only actually
+	// removed once the new value is durably written, so a failed store
+	// leaves the previous value intact. (The LRU walk may evict the old
+	// entry itself under a tight cap; the post-write removal re-checks.)
 	if s.MaxMemoryPerShard > 0 {
 		for sh.used+uint64(len(value)) > s.MaxMemoryPerShard {
 			back := sh.lru.Back()
 			if back == nil {
 				break
 			}
-			e := back.Value.(*entry)
-			sh.used -= e.size
-			_ = s.backend.Free(e.ref, e.size)
-			sh.lru.Remove(e.el)
-			delete(sh.index, e.key)
+			s.removeLocked(sh, back.Value.(*entry))
+			sh.stats.Evictions++
 		}
 	}
 	ref, err := s.backend.Alloc(uint64(len(value)))
 	if err != nil {
-		return fmt.Errorf("kv: sharded set %q: %w", key, err)
+		return false, fmt.Errorf("kv: sharded set %q: %w", key, err)
 	}
 	if err := sess.Write(ref, 0, value); err != nil {
-		return err
+		_ = s.backend.Free(ref, uint64(len(value)))
+		return false, err
+	}
+	if old, ok := sh.index[key]; ok {
+		s.removeLocked(sh, old)
 	}
 	e := &entry{key: key, ref: ref, size: uint64(len(value))}
 	e.el = sh.lru.PushFront(e)
 	sh.index[key] = e
 	sh.used += e.size
-	return nil
+	return true, nil
 }
 
 // Get reads key through the worker's session; nil if absent.
+//
+// The copy-out happens under the shard lock: with `delete` (and same-key
+// `set`, which frees the old value) now arriving from untrusted network
+// clients, a reference held outside the lock could be freed — and its
+// block recycled to another key — mid-read, silently returning another
+// object's bytes. Holding the lock for the copy is the memcached
+// item-reference discipline reduced to its simplest correct form; under
+// Alaska the session additionally pins the handle so a concurrent
+// relocation pass cannot move the object mid-copy.
 func (s *ShardedStore) Get(sess Session, key string) ([]byte, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Gets++
 	e, ok := sh.index[key]
 	if !ok {
-		sh.mu.Unlock()
+		sh.stats.Misses++
 		return nil, nil
 	}
-	ref, size := e.ref, e.size
+	sh.stats.Hits++
 	sh.lru.MoveToFront(e.el)
-	sh.mu.Unlock()
-	// The read happens outside the shard lock; under Alaska the session
-	// pins the handle for the copy, so a concurrent barrier cannot move
-	// the object mid-read. (A concurrent Del could free it — memcached
-	// item references solve this; our workloads never delete keys they
-	// concurrently read.)
-	buf := make([]byte, size)
-	if err := sess.Read(ref, 0, buf); err != nil {
+	buf := make([]byte, e.size)
+	if err := sess.Read(e.ref, 0, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// Del removes key through the worker's session, reporting whether it
+// existed.
+func (s *ShardedStore) Del(sess Session, key string) (bool, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.index[key]
+	if !ok {
+		sh.stats.DeleteMisses++
+		return false, nil
+	}
+	sh.stats.DeleteHits++
+	s.removeLocked(sh, e)
+	return true, nil
 }
 
 // Len returns the total number of keys.
@@ -117,4 +181,27 @@ func (s *ShardedStore) Len() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// Snapshot aggregates the per-shard counters with the backend's memory
+// metrics. Counters are read under each shard's lock in turn, so the
+// result is per-shard consistent (not a global atomic cut — the same
+// guarantee memcached's `stats` gives).
+func (s *ShardedStore) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out.Sets += sh.stats.Sets
+		out.Gets += sh.stats.Gets
+		out.Hits += sh.stats.Hits
+		out.Misses += sh.stats.Misses
+		out.DeleteHits += sh.stats.DeleteHits
+		out.DeleteMisses += sh.stats.DeleteMisses
+		out.Evictions += sh.stats.Evictions
+		out.Keys += len(sh.index)
+		sh.mu.Unlock()
+	}
+	out.Used = s.backend.UsedBytes()
+	out.RSS = s.backend.RSS()
+	return out
 }

@@ -1,0 +1,20 @@
+package kv
+
+// StatsSnapshot is a point-in-time view of a store's operation counters
+// and memory footprint — the payload of alaskad's `stats` command and the
+// experiment harnesses' progress reports.
+type StatsSnapshot struct {
+	// Operation counters.
+	Sets, Gets int64
+	// Hits and Misses partition Gets.
+	Hits, Misses int64
+	// DeleteHits and DeleteMisses partition deletes.
+	DeleteHits, DeleteMisses int64
+	// Evictions counts LRU evictions.
+	Evictions int64
+	// Keys is the current live-key count.
+	Keys int
+	// Used is the allocator-level live-byte count (used_memory); RSS is
+	// the backend's resident set.
+	Used, RSS uint64
+}

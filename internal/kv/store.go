@@ -22,8 +22,11 @@ type Store struct {
 
 	// Evictions counts LRU evictions.
 	Evictions int64
-	// Sets and Gets count operations.
-	Sets, Gets int64
+	// Sets and Gets count operations; Hits/Misses partition Gets and
+	// DeleteHits/DeleteMisses partition Dels.
+	Sets, Gets               int64
+	Hits, Misses             int64
+	DeleteHits, DeleteMisses int64
 }
 
 type entry struct {
@@ -83,6 +86,7 @@ func (s *Store) Set(key string, value []byte) error {
 		return fmt.Errorf("kv: set %q: %w", key, err)
 	}
 	if err := s.session.Write(ref, 0, value); err != nil {
+		_ = s.backend.Free(ref, uint64(len(value)))
 		return err
 	}
 	e := &entry{key: key, ref: ref, size: uint64(len(value))}
@@ -96,8 +100,10 @@ func (s *Store) Get(key string) ([]byte, error) {
 	s.Gets++
 	e, ok := s.index[key]
 	if !ok {
+		s.Misses++
 		return nil, nil
 	}
+	s.Hits++
 	buf := make([]byte, e.size)
 	if err := s.session.Read(e.ref, 0, buf); err != nil {
 		return nil, err
@@ -110,10 +116,28 @@ func (s *Store) Get(key string) ([]byte, error) {
 func (s *Store) Del(key string) (bool, error) {
 	e, ok := s.index[key]
 	if !ok {
+		s.DeleteMisses++
 		return false, nil
 	}
+	s.DeleteHits++
 	s.removeEntry(e)
 	return true, nil
+}
+
+// Snapshot returns the store's counters and memory metrics.
+func (s *Store) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Sets:         s.Sets,
+		Gets:         s.Gets,
+		Hits:         s.Hits,
+		Misses:       s.Misses,
+		DeleteHits:   s.DeleteHits,
+		DeleteMisses: s.DeleteMisses,
+		Evictions:    s.Evictions,
+		Keys:         len(s.index),
+		Used:         s.backend.UsedBytes(),
+		RSS:          s.backend.RSS(),
+	}
 }
 
 // removeEntry frees the entry's storage and unlinks it.

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a minimal memcached-ASCII-protocol client for alaskad: the
+// load generator, the smoke tests, and the conformance suite all drive
+// the server through it. One Client owns one connection and is not safe
+// for concurrent use — open one per worker, like a real cache client
+// pool does.
+type Client struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, r: bufio.NewReaderSize(c, 16<<10), w: bufio.NewWriterSize(c, 16<<10)}, nil
+}
+
+// Close sends quit and closes the connection.
+func (cl *Client) Close() error {
+	_, _ = cl.w.WriteString("quit\r\n")
+	_ = cl.w.Flush()
+	return cl.c.Close()
+}
+
+func (cl *Client) line() (string, error) {
+	s, err := cl.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(strings.TrimSuffix(s, "\n"), "\r"), nil
+}
+
+// store issues one storage command and decodes the reply.
+func (cl *Client) store(cmd, key string, flags uint32, value []byte) (bool, error) {
+	fmt.Fprintf(cl.w, "%s %s %d 0 %d\r\n", cmd, key, flags, len(value))
+	cl.w.Write(value)
+	cl.w.WriteString("\r\n")
+	if err := cl.w.Flush(); err != nil {
+		return false, err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case respStored:
+		return true, nil
+	case respNotStored:
+		return false, nil
+	}
+	return false, fmt.Errorf("server: %s %q: %s", cmd, key, resp)
+}
+
+// Set stores key=value unconditionally.
+func (cl *Client) Set(key string, flags uint32, value []byte) error {
+	_, err := cl.store("set", key, flags, value)
+	return err
+}
+
+// SetNoreply stores without waiting for a response (pipelined writes).
+func (cl *Client) SetNoreply(key string, flags uint32, value []byte) error {
+	fmt.Fprintf(cl.w, "set %s %d 0 %d noreply\r\n", key, flags, len(value))
+	cl.w.Write(value)
+	_, err := cl.w.WriteString("\r\n")
+	return err
+}
+
+// Add stores only if absent; reports whether it stored.
+func (cl *Client) Add(key string, flags uint32, value []byte) (bool, error) {
+	return cl.store("add", key, flags, value)
+}
+
+// Replace stores only if present; reports whether it stored.
+func (cl *Client) Replace(key string, flags uint32, value []byte) (bool, error) {
+	return cl.store("replace", key, flags, value)
+}
+
+// Get fetches one key; ok is false on a miss.
+func (cl *Client) Get(key string) (value []byte, flags uint32, ok bool, err error) {
+	v, f, _, ok, err := cl.retrieve("get", key)
+	return v, f, ok, err
+}
+
+// Gets fetches one key with its cas unique.
+func (cl *Client) Gets(key string) (value []byte, flags uint32, cas uint64, ok bool, err error) {
+	return cl.retrieve("gets", key)
+}
+
+func (cl *Client) retrieve(cmd, key string) (value []byte, flags uint32, cas uint64, ok bool, err error) {
+	fmt.Fprintf(cl.w, "%s %s\r\n", cmd, key)
+	if err = cl.w.Flush(); err != nil {
+		return
+	}
+	for {
+		var resp string
+		if resp, err = cl.line(); err != nil {
+			return
+		}
+		if resp == respEnd {
+			return
+		}
+		fields := strings.Fields(resp)
+		if len(fields) < 4 || fields[0] != "VALUE" {
+			err = fmt.Errorf("server: %s %q: %s", cmd, key, resp)
+			return
+		}
+		var n uint64
+		if n, err = strconv.ParseUint(fields[3], 10, 31); err != nil {
+			return
+		}
+		f64, _ := strconv.ParseUint(fields[2], 10, 32)
+		if len(fields) >= 5 {
+			cas, _ = strconv.ParseUint(fields[4], 10, 64)
+		}
+		buf := make([]byte, n+2)
+		if _, err = io.ReadFull(cl.r, buf); err != nil {
+			return
+		}
+		value, flags, ok = buf[:n], uint32(f64), true
+	}
+}
+
+// Delete removes key; reports whether it existed.
+func (cl *Client) Delete(key string) (bool, error) {
+	fmt.Fprintf(cl.w, "delete %s\r\n", key)
+	if err := cl.w.Flush(); err != nil {
+		return false, err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case respDeleted:
+		return true, nil
+	case respNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("server: delete %q: %s", key, resp)
+}
+
+// Stats returns the server's stats as a name→value map.
+func (cl *Client) Stats() (map[string]string, error) {
+	if _, err := cl.w.WriteString("stats\r\n"); err != nil {
+		return nil, err
+	}
+	if err := cl.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		resp, err := cl.line()
+		if err != nil {
+			return nil, err
+		}
+		if resp == respEnd {
+			return out, nil
+		}
+		fields := strings.SplitN(resp, " ", 3)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, fmt.Errorf("server: stats: %s", resp)
+		}
+		out[fields[1]] = fields[2]
+	}
+}
+
+// Version returns the server's version string.
+func (cl *Client) Version() (string, error) {
+	if _, err := cl.w.WriteString("version\r\n"); err != nil {
+		return "", err
+	}
+	if err := cl.w.Flush(); err != nil {
+		return "", err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return "", err
+	}
+	v, ok := strings.CutPrefix(resp, "VERSION ")
+	if !ok {
+		return "", fmt.Errorf("server: version: %s", resp)
+	}
+	return v, nil
+}
+
+// Flush drains any buffered noreply writes to the socket.
+func (cl *Client) Flush() error { return cl.w.Flush() }

@@ -1,0 +1,294 @@
+package server
+
+// Protocol conformance suite: golden request/response transcripts over a
+// loopback connection, including the error paths (ERROR, CLIENT_ERROR
+// bad data chunk, oversized values, NOT_FOUND, noreply) plus pipelined
+// and split-write framing.
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"alaska/internal/anchorage"
+	"alaska/internal/kv"
+	"alaska/internal/rt"
+)
+
+// startServer boots a server on a loopback port over the given backend.
+func startServer(t *testing.T, backend kv.Backend, cfg Config) *Server {
+	t.Helper()
+	store := kv.NewShardedStore(backend, 8, 0)
+	srv := New(store, cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { _ = srv.Shutdown(2 * time.Second) })
+	return srv
+}
+
+func startAnchorageServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	// CountedPins: the pin-visibility mode required when writers run
+	// concurrently with the pause-free defrag pass (§7 contract).
+	backend, err := kv.NewAnchorageBackend(anchorage.DefaultConfig(), rt.WithPinMode(rt.CountedPins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return startServer(t, backend, cfg)
+}
+
+// step is one send/expect exchange of a transcript.
+type step struct {
+	send string
+	want string
+}
+
+// runTranscript drives a raw connection through the steps, comparing
+// exact bytes.
+func runTranscript(t *testing.T, addr string, steps []step) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, st := range steps {
+		if st.send != "" {
+			if _, err := c.Write([]byte(st.send)); err != nil {
+				t.Fatalf("step %d: write: %v", i, err)
+			}
+		}
+		if st.want == "" {
+			continue
+		}
+		buf := make([]byte, len(st.want))
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatalf("step %d: after sending %q, read: %v (got %q so far)", i, st.send, err, buf)
+		}
+		if string(buf) != st.want {
+			t.Fatalf("step %d: sent %q\n got  %q\n want %q", i, st.send, buf, st.want)
+		}
+	}
+	// The transcript must account for every response byte.
+	_ = c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	extra := make([]byte, 256)
+	if n, _ := c.Read(extra); n > 0 {
+		t.Fatalf("unconsumed response bytes: %q", extra[:n])
+	}
+}
+
+func TestProtocolConformance(t *testing.T) {
+	srv := startAnchorageServer(t, Config{Addr: "127.0.0.1:0", Version: "conftest", MaxValueSize: 1024})
+	runTranscript(t, srv.Addr(), []step{
+		// Basic storage and retrieval; flags round-trip.
+		{"set foo 42 0 5\r\nhello\r\n", "STORED\r\n"},
+		{"get foo\r\n", "VALUE foo 42 5\r\nhello\r\nEND\r\n"},
+		// gets returns the cas unique (first store on this server: 1).
+		{"gets foo\r\n", "VALUE foo 42 5 1\r\nhello\r\nEND\r\n"},
+		// Miss: key simply omitted.
+		{"get nosuch\r\n", "END\r\n"},
+		// Multi-key get: hits in request order, misses omitted.
+		{"set bar 0 0 3\r\nxyz\r\n", "STORED\r\n"},
+		{"get foo nosuch bar\r\n", "VALUE foo 42 5\r\nhello\r\nVALUE bar 0 3\r\nxyz\r\nEND\r\n"},
+		// add/replace conditional semantics.
+		{"add foo 0 0 3\r\nnew\r\n", "NOT_STORED\r\n"},
+		{"add fresh 7 0 2\r\nhi\r\n", "STORED\r\n"},
+		{"replace nosuch 0 0 2\r\nhi\r\n", "NOT_STORED\r\n"},
+		{"replace fresh 8 0 3\r\nbye\r\n", "STORED\r\n"},
+		{"get fresh\r\n", "VALUE fresh 8 3\r\nbye\r\nEND\r\n"},
+		// delete: hit then miss.
+		{"delete fresh\r\n", "DELETED\r\n"},
+		{"delete fresh\r\n", "NOT_FOUND\r\n"},
+		{"get fresh\r\n", "END\r\n"},
+		// noreply set is silent; the following get observes the value.
+		{"set quiet 0 0 2 noreply\r\nok\r\nget quiet\r\n", "VALUE quiet 0 2\r\nok\r\nEND\r\n"},
+		// noreply delete is silent too.
+		{"delete quiet noreply\r\nget quiet\r\n", "END\r\n"},
+		// Unknown command and empty line.
+		{"bogus\r\n", "ERROR\r\n"},
+		{"\r\n", "ERROR\r\n"},
+		// Malformed storage line: the would-be data block is parsed as a
+		// (garbage) command.
+		{"set k notanum 0 5\r\nhello\r\n", "CLIENT_ERROR bad command line format\r\nERROR\r\n"},
+		// Over-long key.
+		{"get " + strings.Repeat("k", 251) + "\r\n", "CLIENT_ERROR bad command line format\r\n"},
+		{"delete foo extra args\r\n", "CLIENT_ERROR bad command line format\r\n"},
+		// Bad data chunk: terminator is not CRLF; server reports and
+		// resyncs at the next newline, so the following command parses.
+		{"set k 0 0 5\r\nhelloXX\r\nversion\r\n", "CLIENT_ERROR bad data chunk\r\nVERSION conftest\r\n"},
+		// Oversized value: body swallowed, stream stays in sync.
+		{"set big 0 0 2000\r\n" + strings.Repeat("x", 2000) + "\r\nget big\r\n",
+			"SERVER_ERROR object too large for cache\r\nEND\r\n"},
+		{"version\r\n", "VERSION conftest\r\n"},
+	})
+}
+
+// TestProtocolPipelined sends a burst of commands in a single write and
+// expects all responses in order.
+func TestProtocolPipelined(t *testing.T) {
+	srv := startAnchorageServer(t, Config{Addr: "127.0.0.1:0", Version: "conftest"})
+	runTranscript(t, srv.Addr(), []step{
+		{"set p 0 0 1\r\nA\r\nget p\r\ngets p\r\ndelete p\r\nget p\r\n",
+			"STORED\r\nVALUE p 0 1\r\nA\r\nEND\r\nVALUE p 0 1 1\r\nA\r\nEND\r\nDELETED\r\nEND\r\n"},
+	})
+}
+
+// TestProtocolSplitWrites delivers a single command in several TCP
+// writes — including a split mid-data-block — and expects normal
+// processing.
+func TestProtocolSplitWrites(t *testing.T) {
+	srv := startAnchorageServer(t, Config{Addr: "127.0.0.1:0", Version: "conftest"})
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	chunks := []string{"se", "t s 0 0 8\r\nab", "cdef", "gh\r", "\nget s\r\n"}
+	for _, ch := range chunks {
+		if _, err := c.Write([]byte(ch)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond) // force separate segments
+	}
+	want := "STORED\r\nVALUE s 0 8\r\nabcdefgh\r\nEND\r\n"
+	buf := make([]byte, len(want))
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v (got %q)", err, buf)
+	}
+	if string(buf) != want {
+		t.Fatalf("got %q, want %q", buf, want)
+	}
+}
+
+// TestLargeValueRoundTrip stores a value much larger than the server's
+// 16 KiB response buffer, exercising the mid-write flush path (which
+// must idle the session — see writeFull).
+func TestLargeValueRoundTrip(t *testing.T) {
+	srv := startAnchorageServer(t, Config{Addr: "127.0.0.1:0"})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	val := make([]byte, 64<<10)
+	for i := range val {
+		val[i] = byte(i * 31)
+	}
+	if err := cl.Set("big", 9, val); err != nil {
+		t.Fatal(err)
+	}
+	got, flags, ok, err := cl.Get("big")
+	if err != nil || !ok || flags != 9 {
+		t.Fatalf("get big: ok=%v flags=%d err=%v", ok, flags, err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("large value corrupted: %d bytes, want %d", len(got), len(val))
+	}
+}
+
+// TestQuitClosesConnection verifies quit ends the session server-side.
+func TestQuitClosesConnection(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{Addr: "127.0.0.1:0"})
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("quit\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := c.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("after quit: read %d bytes, err %v; want EOF", n, err)
+	}
+}
+
+// TestStatsSurface checks the stats command through the Client and that
+// the store counters show through.
+func TestStatsSurface(t *testing.T) {
+	srv := startAnchorageServer(t, Config{Addr: "127.0.0.1:0", Version: "conftest"})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Set("a", 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := cl.Get("a"); err != nil || !ok {
+		t.Fatalf("get a: ok=%v err=%v", ok, err)
+	}
+	if _, _, ok, err := cl.Get("b"); err != nil || ok {
+		t.Fatalf("get b: ok=%v err=%v", ok, err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{
+		"version":    "conftest",
+		"backend":    "anchorage",
+		"cmd_set":    "1",
+		"cmd_get":    "2",
+		"get_hits":   "1",
+		"get_misses": "1",
+		"curr_items": "1",
+	} {
+		if st[k] != want {
+			t.Errorf("stats[%s] = %q, want %q", k, st[k], want)
+		}
+	}
+	for _, k := range []string{"bytes", "rss_bytes", "defrag_concurrent_passes", "defrag_barrier_passes", "latency_p99_us", "curr_connections"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("stats missing %s", k)
+		}
+	}
+}
+
+// TestClientRoundTrip exercises the Client-level API against a malloc
+// backend (backend-independence of the protocol layer).
+func TestClientRoundTrip(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{Addr: "127.0.0.1:0"})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if stored, err := cl.Add("k", 3, []byte("v0")); err != nil || !stored {
+		t.Fatalf("add: %v %v", stored, err)
+	}
+	if stored, err := cl.Add("k", 3, []byte("v1")); err != nil || stored {
+		t.Fatalf("re-add: %v %v", stored, err)
+	}
+	v, flags, cas1, ok, err := cl.Gets("k")
+	if err != nil || !ok || string(v) != "v0" || flags != 3 {
+		t.Fatalf("gets: %q %d %v %v", v, flags, ok, err)
+	}
+	if stored, err := cl.Replace("k", 4, []byte("v2")); err != nil || !stored {
+		t.Fatalf("replace: %v %v", stored, err)
+	}
+	_, _, cas2, _, err := cl.Gets("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cas2 == cas1 {
+		t.Errorf("cas did not change across replace: %d", cas2)
+	}
+	if existed, err := cl.Delete("k"); err != nil || !existed {
+		t.Fatalf("delete: %v %v", existed, err)
+	}
+	if v, err := cl.Version(); err != nil || v == "" {
+		t.Fatalf("version: %q %v", v, err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package server implements alaskad: a network-facing memcached-protocol
+// server over the Alaska heap. It speaks the memcached ASCII protocol
+// (get/gets/set/add/replace/delete/stats/version/quit) on TCP, runs each
+// connection on a worker goroutine that owns an rt.Thread-backed
+// kv.Session, and — on the Anchorage backend — defragments the heap under
+// live traffic: a background maintenance goroutine drives the §4.3
+// control loop (stop-the-world barrier passes) and the §7 pause-free
+// ConcurrentDefragPass off live RSS/used-bytes while connections keep
+// serving requests between safepoint polls.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Protocol response lines (memcached ASCII, without the CRLF).
+const (
+	respStored      = "STORED"
+	respNotStored   = "NOT_STORED"
+	respDeleted     = "DELETED"
+	respNotFound    = "NOT_FOUND"
+	respEnd         = "END"
+	respError       = "ERROR"
+	respBadFormat   = "CLIENT_ERROR bad command line format"
+	respBadChunk    = "CLIENT_ERROR bad data chunk"
+	respTooLarge    = "SERVER_ERROR object too large for cache"
+	respOutOfMemory = "SERVER_ERROR out of memory storing object"
+)
+
+const (
+	crlf      = "\r\n"
+	maxKeyLen = 250
+	// valueHeaderLen is the per-value metadata the server prepends to the
+	// stored bytes: flags (uint32) and the cas unique (uint64). Keeping
+	// the metadata inside the stored value keeps the kv layer generic and
+	// makes flags+cas+data one atomic unit under the shard lock.
+	valueHeaderLen = 12
+)
+
+// storageArgs are the parsed arguments of set/add/replace:
+// <key> <flags> <exptime> <bytes> [noreply].
+type storageArgs struct {
+	key     string
+	flags   uint32
+	exptime int64
+	nbytes  int
+	noreply bool
+}
+
+// errBadLine marks a malformed command line (CLIENT_ERROR bad command
+// line format).
+var errBadLine = fmt.Errorf("bad command line format")
+
+// validKey reports whether key is a legal memcached key: 1..250 bytes,
+// no whitespace or control characters.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// parseStorage parses the arguments of a storage command.
+func parseStorage(args []string) (storageArgs, error) {
+	var sa storageArgs
+	if len(args) == 5 && args[4] == "noreply" {
+		sa.noreply = true
+		args = args[:4]
+	}
+	if len(args) != 4 {
+		return sa, errBadLine
+	}
+	sa.key = args[0]
+	if !validKey(sa.key) {
+		return sa, errBadLine
+	}
+	flags, err := strconv.ParseUint(args[1], 10, 32)
+	if err != nil {
+		return sa, errBadLine
+	}
+	sa.flags = uint32(flags)
+	// Expiration is accepted for wire compatibility but not yet enforced
+	// (see ROADMAP: TTL/expiry).
+	sa.exptime, err = strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		return sa, errBadLine
+	}
+	n, err := strconv.ParseUint(args[3], 10, 31)
+	if err != nil {
+		return sa, errBadLine
+	}
+	sa.nbytes = int(n)
+	return sa, nil
+}
+
+// parseDelete parses `delete <key> [noreply]`.
+func parseDelete(args []string) (key string, noreply bool, err error) {
+	if len(args) == 2 && args[1] == "noreply" {
+		noreply = true
+		args = args[:1]
+	}
+	if len(args) != 1 || !validKey(args[0]) {
+		return "", false, errBadLine
+	}
+	return args[0], noreply, nil
+}
+
+// encodeValue packs flags+cas+data into the stored representation.
+func encodeValue(flags uint32, cas uint64, data []byte) []byte {
+	buf := make([]byte, valueHeaderLen+len(data))
+	binary.BigEndian.PutUint32(buf[0:4], flags)
+	binary.BigEndian.PutUint64(buf[4:12], cas)
+	copy(buf[valueHeaderLen:], data)
+	return buf
+}
+
+// decodeValue splits a stored representation back into flags, cas, data.
+func decodeValue(stored []byte) (flags uint32, cas uint64, data []byte, err error) {
+	if len(stored) < valueHeaderLen {
+		return 0, 0, nil, fmt.Errorf("server: stored value shorter than header (%d bytes)", len(stored))
+	}
+	return binary.BigEndian.Uint32(stored[0:4]),
+		binary.BigEndian.Uint64(stored[4:12]),
+		stored[valueHeaderLen:], nil
+}
+
+// splitCommand tokenizes a command line on single spaces, memcached
+// style. An empty line yields no fields.
+func splitCommand(line string) []string {
+	return strings.Fields(line)
+}

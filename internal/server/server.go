@@ -1,0 +1,601 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alaska/internal/kv"
+	"alaska/internal/stats"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. ":11211").
+	Addr string
+	// MaxValueSize rejects larger set payloads with SERVER_ERROR
+	// (memcached's -I limit). Default 1 MiB.
+	MaxValueSize int
+	// MaintainInterval is the background maintenance goroutine's tick.
+	// Default 50 ms.
+	MaintainInterval time.Duration
+	// DefragFragHigh triggers a pause-free ConcurrentDefragPass when the
+	// Anchorage heap's fragmentation (extent/active) exceeds it. Default
+	// 1.3. Ignored on non-Anchorage backends.
+	DefragFragHigh float64
+	// DefragBudget bounds bytes moved per concurrent pass. Default 1 MiB.
+	DefragBudget uint64
+	// Version is reported by the `version` command and `stats`.
+	Version string
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxValueSize == 0 {
+		out.MaxValueSize = 1 << 20
+	}
+	if out.MaintainInterval == 0 {
+		out.MaintainInterval = 50 * time.Millisecond
+	}
+	if out.DefragFragHigh == 0 {
+		out.DefragFragHigh = 1.3
+	}
+	if out.DefragBudget == 0 {
+		out.DefragBudget = 1 << 20
+	}
+	if out.Version == "" {
+		out.Version = "0.2.0-alaska"
+	}
+	return out
+}
+
+// Server is a memcached-ASCII-protocol server over a kv.ShardedStore.
+type Server struct {
+	cfg   Config
+	store *kv.ShardedStore
+	// anch is non-nil when the store runs on the Anchorage backend; the
+	// maintenance loop then drives defragmentation under live traffic.
+	anch *kv.AnchorageBackend
+
+	ln    net.Listener
+	quit  chan struct{}
+	wg    sync.WaitGroup // maintenance + accept loop
+	connW sync.WaitGroup // one per live connection
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	start time.Time
+
+	// Counters surfaced by `stats`.
+	currConns      atomic.Int64
+	totalConns     atomic.Int64
+	protocolErrors atomic.Int64
+	casCounter     atomic.Uint64
+	barrierPauseNs atomic.Int64
+	lat            *stats.LatencyRecorder
+
+	closeOnce sync.Once
+}
+
+// New builds a server over the store. The store's backend decides the
+// maintenance behavior: on Anchorage, the §4.3 control loop plus
+// pause-free concurrent passes; on other backends, whatever Maintain
+// does (meshing rounds, nothing for malloc).
+func New(store *kv.ShardedStore, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		store: store,
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+		lat:   stats.NewLatencyRecorder(),
+	}
+	if ab, ok := store.Backend().(*kv.AnchorageBackend); ok {
+		s.anch = ab
+	}
+	return s
+}
+
+// Listen binds the configured address. Addr() reports the bound address
+// afterwards (useful with ":0").
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve runs the accept loop until Shutdown. Listen must have been
+// called. It always returns nil after a clean shutdown.
+func (s *Server) Serve() error {
+	s.start = time.Now()
+	s.wg.Add(1)
+	go s.maintainLoop()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.currConns.Add(1)
+		s.connW.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown stops accepting, waits up to drain for in-flight connections
+// to finish their current commands and disconnect, then force-closes the
+// stragglers. Safe to call multiple times.
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		if s.ln != nil {
+			_ = s.ln.Close()
+		}
+		done := make(chan struct{})
+		go func() {
+			s.connW.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(drain):
+			// Connections idling in a read only notice via conn close.
+			s.mu.Lock()
+			for c := range s.conns {
+				_ = c.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+		s.wg.Wait()
+	})
+	return nil
+}
+
+// maintainLoop is the background maintenance goroutine: it drives the
+// backend's §4.3 control loop on wall-clock time (barrier passes,
+// sub-heap truncation, deferred-block drain) and, on the Anchorage
+// backend, additionally runs the §7 pause-free ConcurrentDefragPass
+// whenever live fragmentation exceeds DefragFragHigh — compaction under
+// traffic with no stop-the-world.
+func (s *Server) maintainLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.MaintainInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+			if pause := s.store.Backend().Maintain(time.Since(s.start)); pause > 0 {
+				s.barrierPauseNs.Add(int64(pause))
+			}
+			if s.anch != nil {
+				if s.anch.Svc.Fragmentation() > s.cfg.DefragFragHigh {
+					s.anch.Svc.ConcurrentDefragPass(s.cfg.DefragBudget)
+				}
+				// Return vacated blocks whose grace period has elapsed.
+				s.anch.Svc.DrainDeferred()
+			}
+		}
+	}
+}
+
+// connHandler is the per-connection state: its own kv.Session (an
+// rt.Thread under Alaska), buffered reader/writer, and the blocked-read
+// discipline — socket waits happen in the thread's external state so a
+// barrier never waits on an idle connection, and a safepoint is polled
+// between commands so barriers make progress under load.
+type connHandler struct {
+	srv  *Server
+	c    net.Conn
+	sess kv.Session
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connW.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.currConns.Add(-1)
+		_ = c.Close()
+	}()
+	h := &connHandler{
+		srv:  s,
+		c:    c,
+		sess: s.store.NewSession(),
+		r:    bufio.NewReaderSize(c, 16<<10),
+		w:    bufio.NewWriterSize(c, 16<<10),
+	}
+	defer h.sess.Close()
+	for {
+		line, err := h.readLine()
+		if err != nil {
+			return // EOF or connection failure
+		}
+		start := time.Now()
+		quit, err := h.dispatch(line)
+		if err != nil {
+			return // I/O failure mid-command
+		}
+		s.lat.Record(time.Since(start))
+		// Flush unless a complete pipelined command is already buffered,
+		// so a burst of pipelined requests is answered in one write. (A
+		// *partial* line must not gate the flush: its sender may be
+		// waiting on this response before finishing it.)
+		if !h.commandPending() {
+			if err := h.flush(); err != nil {
+				return
+			}
+		}
+		// Safepoint between commands: this is where barrier rendezvous
+		// happens for busy connections.
+		h.sess.Safepoint()
+		if quit {
+			_ = h.flush()
+			return
+		}
+	}
+}
+
+// commandPending reports whether a complete command line is already
+// sitting in the read buffer.
+func (h *connHandler) commandPending() bool {
+	n := h.r.Buffered()
+	if n == 0 {
+		return false
+	}
+	peek, err := h.r.Peek(n)
+	return err == nil && bytes.IndexByte(peek, '\n') >= 0
+}
+
+// readLine reads one CRLF-terminated command line. If the line is not
+// already buffered, the wait happens in the session's idle (external)
+// state so stop-the-world barriers don't wait for this connection.
+func (h *connHandler) readLine() (string, error) {
+	if h.commandPending() {
+		return readLineDirect(h.r)
+	}
+	h.sess.EnterIdle()
+	defer h.sess.ExitIdle()
+	return readLineDirect(h.r)
+}
+
+func readLineDirect(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r"), nil
+}
+
+// readBody reads a storage command's n-byte data block plus its CRLF
+// terminator, idling the session if the bytes aren't buffered yet.
+// It returns the data and whether the terminator was well-formed.
+func (h *connHandler) readBody(n int) ([]byte, bool, error) {
+	buf := make([]byte, n+2)
+	if h.r.Buffered() < len(buf) {
+		h.sess.EnterIdle()
+		_, err := io.ReadFull(h.r, buf)
+		h.sess.ExitIdle()
+		if err != nil {
+			return nil, false, err
+		}
+	} else if _, err := io.ReadFull(h.r, buf); err != nil {
+		return nil, false, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, false, nil
+	}
+	return buf[:n], true, nil
+}
+
+// discardBody consumes an n-byte data block plus terminator without
+// holding it in memory (the oversized-value path, where n is
+// client-controlled and may be huge). Returns whether the terminator was
+// well-formed.
+func (h *connHandler) discardBody(n int) (bool, error) {
+	h.sess.EnterIdle()
+	defer h.sess.ExitIdle()
+	if _, err := io.CopyN(io.Discard, h.r, int64(n)); err != nil {
+		return false, err
+	}
+	var term [2]byte
+	if _, err := io.ReadFull(h.r, term[:]); err != nil {
+		return false, err
+	}
+	return term[0] == '\r' && term[1] == '\n', nil
+}
+
+// flush drains the write buffer; a stalled client's backpressure is
+// absorbed in the idle state.
+func (h *connHandler) flush() error {
+	if h.w.Buffered() == 0 {
+		return nil
+	}
+	h.sess.EnterIdle()
+	defer h.sess.ExitIdle()
+	return h.w.Flush()
+}
+
+// writeFull writes p to the response buffer. When p does not fit in the
+// buffer's free space, bufio flushes to the socket mid-Write; that flush
+// can block on a slow-reading client, so it must happen in the idle
+// state or a pending barrier would wait on this thread forever.
+func (h *connHandler) writeFull(p []byte) error {
+	if h.w.Available() >= len(p) {
+		_, err := h.w.Write(p)
+		return err
+	}
+	h.sess.EnterIdle()
+	defer h.sess.ExitIdle()
+	_, err := h.w.Write(p)
+	return err
+}
+
+func (h *connHandler) reply(line string) error {
+	return h.writeFull([]byte(line + crlf))
+}
+
+// replyError counts a protocol error and sends the error line.
+func (h *connHandler) replyError(line string) error {
+	h.srv.protocolErrors.Add(1)
+	return h.reply(line)
+}
+
+// dispatch executes one command line. The returned error is an I/O
+// failure (drop the connection); protocol errors are answered in-band.
+func (h *connHandler) dispatch(line string) (quit bool, err error) {
+	fields := splitCommand(line)
+	if len(fields) == 0 {
+		return false, h.replyError(respError)
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "get", "gets":
+		return false, h.doGet(args, cmd == "gets")
+	case "set", "add", "replace":
+		return false, h.doStore(cmd, args)
+	case "delete":
+		return false, h.doDelete(args)
+	case "stats":
+		return false, h.doStats()
+	case "version":
+		return false, h.reply("VERSION " + h.srv.cfg.Version)
+	case "quit":
+		return true, nil
+	default:
+		return false, h.replyError(respError)
+	}
+}
+
+func (h *connHandler) doGet(keys []string, withCAS bool) error {
+	if len(keys) == 0 {
+		return h.replyError(respBadFormat)
+	}
+	for _, key := range keys {
+		if !validKey(key) {
+			return h.replyError(respBadFormat)
+		}
+		stored, err := h.srv.store.Get(h.sess, key)
+		if err != nil {
+			return h.replyError("SERVER_ERROR " + err.Error())
+		}
+		if stored == nil {
+			continue // miss: omitted from the response
+		}
+		flags, cas, data, err := decodeValue(stored)
+		if err != nil {
+			return h.replyError("SERVER_ERROR " + err.Error())
+		}
+		var hdr string
+		if withCAS {
+			hdr = fmt.Sprintf("VALUE %s %d %d %d", key, flags, len(data), cas)
+		} else {
+			hdr = fmt.Sprintf("VALUE %s %d %d", key, flags, len(data))
+		}
+		if err := h.reply(hdr); err != nil {
+			return err
+		}
+		if err := h.writeFull(data); err != nil {
+			return err
+		}
+		if err := h.writeFull([]byte(crlf)); err != nil {
+			return err
+		}
+	}
+	return h.reply(respEnd)
+}
+
+func (h *connHandler) doStore(cmd string, args []string) error {
+	sa, perr := parseStorage(args)
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	if sa.nbytes > h.srv.cfg.MaxValueSize {
+		// Consume and discard the oversized body — without buffering it —
+		// to stay in sync, then report.
+		ok, err := h.discardBody(sa.nbytes)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return h.replyError(respBadChunk)
+		}
+		return h.replyError(respTooLarge)
+	}
+	data, ok, err := h.readBody(sa.nbytes)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// The data block wasn't CRLF-terminated: the stream is desynced.
+		// Report and resync at the next newline, memcached-style. The
+		// error is flushed first and the resync read idles the session:
+		// a client that goes quiet here must neither wait on an
+		// unflushed reply nor stall stop-the-world barriers.
+		if err := h.replyError(respBadChunk); err != nil {
+			return err
+		}
+		if err := h.flush(); err != nil {
+			return err
+		}
+		if _, err := h.readLine(); err != nil {
+			return err
+		}
+		return nil
+	}
+	mode := kv.SetAlways
+	switch cmd {
+	case "add":
+		mode = kv.SetAdd
+	case "replace":
+		mode = kv.SetReplace
+	}
+	cas := h.srv.casCounter.Add(1)
+	storedVal := encodeValue(sa.flags, cas, data)
+	stored, err := h.srv.store.SetWith(h.sess, sa.key, storedVal, mode)
+	if err != nil {
+		if sa.noreply {
+			h.srv.protocolErrors.Add(1)
+			return nil
+		}
+		return h.replyError(respOutOfMemory)
+	}
+	if sa.noreply {
+		return nil
+	}
+	if stored {
+		return h.reply(respStored)
+	}
+	return h.reply(respNotStored)
+}
+
+func (h *connHandler) doDelete(args []string) error {
+	key, noreply, perr := parseDelete(args)
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	existed, err := h.srv.store.Del(h.sess, key)
+	if err != nil {
+		return h.replyError("SERVER_ERROR " + err.Error())
+	}
+	if noreply {
+		return nil
+	}
+	if existed {
+		return h.reply(respDeleted)
+	}
+	return h.reply(respNotFound)
+}
+
+// statLine is one `STAT name value` row.
+type statLine struct {
+	name  string
+	value string
+}
+
+// StatsSnapshot assembles the server's full stats view: store counters,
+// memory metrics, connection counts, command latency percentiles, and —
+// on Anchorage — the defragmentation counters that show the heap being
+// compacted under traffic.
+func (s *Server) StatsSnapshot() []struct{ Name, Value string } {
+	lines := s.statLines()
+	out := make([]struct{ Name, Value string }, len(lines))
+	for i, l := range lines {
+		out[i] = struct{ Name, Value string }{l.name, l.value}
+	}
+	return out
+}
+
+func (s *Server) statLines() []statLine {
+	snap := s.store.Snapshot()
+	uptime := time.Since(s.start)
+	lines := []statLine{
+		{"version", s.cfg.Version},
+		{"backend", s.store.Backend().Name()},
+		{"uptime_s", fmt.Sprintf("%.1f", uptime.Seconds())},
+		{"curr_connections", fmt.Sprintf("%d", s.currConns.Load())},
+		{"total_connections", fmt.Sprintf("%d", s.totalConns.Load())},
+		{"cmd_get", fmt.Sprintf("%d", snap.Gets)},
+		{"cmd_set", fmt.Sprintf("%d", snap.Sets)},
+		{"get_hits", fmt.Sprintf("%d", snap.Hits)},
+		{"get_misses", fmt.Sprintf("%d", snap.Misses)},
+		{"delete_hits", fmt.Sprintf("%d", snap.DeleteHits)},
+		{"delete_misses", fmt.Sprintf("%d", snap.DeleteMisses)},
+		{"evictions", fmt.Sprintf("%d", snap.Evictions)},
+		{"curr_items", fmt.Sprintf("%d", snap.Keys)},
+		{"bytes", fmt.Sprintf("%d", snap.Used)},
+		{"rss_bytes", fmt.Sprintf("%d", snap.RSS)},
+		{"protocol_errors", fmt.Sprintf("%d", s.protocolErrors.Load())},
+		{"latency_mean_us", fmt.Sprintf("%.1f", float64(s.lat.Mean().Nanoseconds())/1e3)},
+		{"latency_p50_us", fmt.Sprintf("%.1f", float64(s.lat.Percentile(50).Nanoseconds())/1e3)},
+		{"latency_p99_us", fmt.Sprintf("%.1f", float64(s.lat.Percentile(99).Nanoseconds())/1e3)},
+		{"latency_p999_us", fmt.Sprintf("%.1f", float64(s.lat.Percentile(99.9).Nanoseconds())/1e3)},
+	}
+	if snap.Used > 0 {
+		lines = append(lines, statLine{"fragmentation", fmt.Sprintf("%.3f", float64(snap.RSS)/float64(snap.Used))})
+	}
+	if s.anch != nil {
+		m := s.anch.Svc.MetricsSnapshot()
+		lines = append(lines,
+			statLine{"defrag_concurrent_passes", fmt.Sprintf("%d", m.ConcurrentPasses)},
+			statLine{"defrag_barrier_passes", fmt.Sprintf("%d", m.Passes)},
+			statLine{"defrag_barrier_pause_us", fmt.Sprintf("%.1f", float64(s.barrierPauseNs.Load())/1e3)},
+			statLine{"defrag_moved_bytes", fmt.Sprintf("%d", m.MovedBytes)},
+			statLine{"defrag_move_aborts", fmt.Sprintf("%d", m.MoveAborts)},
+			statLine{"defrag_truncated_bytes", fmt.Sprintf("%d", m.Truncated)},
+			statLine{"defrag_deferred_blocks", fmt.Sprintf("%d", m.DeferredBlocks)},
+			statLine{"heap_fragmentation", fmt.Sprintf("%.3f", s.anch.Svc.Fragmentation())},
+		)
+	}
+	return lines
+}
+
+func (h *connHandler) doStats() error {
+	for _, l := range h.srv.statLines() {
+		if err := h.reply("STAT " + l.name + " " + l.value); err != nil {
+			return err
+		}
+	}
+	return h.reply(respEnd)
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// latencyBounds are the shared bucket boundaries of every LatencyRecorder,
+// in microseconds: geometric from 1 µs to ~10 s. A shared layout is what
+// makes recorders mergeable without resampling.
+var latencyBounds = func() []float64 {
+	var b []float64
+	for us := 1.0; us < 10_000_000; us *= 1.25 {
+		b = append(b, us)
+	}
+	return b
+}()
+
+// LatencyRecorder is the shared latency instrument of the benchmark
+// harnesses, the alaskad stats surface, and the loadgen report: a
+// fixed-layout histogram of operation durations with cheap recording,
+// cross-recorder merging, and percentile queries.
+//
+// Methods are safe for concurrent use. The intended patterns are both
+// "one recorder per worker, Merge at the end" (no contention on the hot
+// path) and "one shared recorder sampled live" (the server's per-command
+// recorder, read by concurrent stats commands).
+type LatencyRecorder struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{h: NewHistogram(latencyBounds)}
+}
+
+// Record adds one observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	us := float64(d.Nanoseconds()) / 1e3
+	r.mu.Lock()
+	r.h.Observe(us)
+	r.mu.Unlock()
+}
+
+// Merge folds other's observations into r. Both recorders stay usable.
+func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
+	if other == nil || r == other {
+		return
+	}
+	other.mu.Lock()
+	snap := other.h.Clone()
+	other.mu.Unlock()
+	r.mu.Lock()
+	// Same package-level bounds on both sides: Merge cannot fail.
+	_ = r.h.Merge(snap)
+	r.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (r *LatencyRecorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.h.Count()
+}
+
+// Mean returns the mean observed latency.
+func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.h.Mean() * 1e3)
+}
+
+// Max returns the largest observed latency.
+func (r *LatencyRecorder) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.h.Max() * 1e3)
+}
+
+// Percentile returns the p-th percentile (0..100) as a duration. The
+// resolution is the bucket width (25% geometric steps).
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.h.Quantile(p/100) * 1e3)
+}
+
+// Summary renders the standard one-line report: count, mean, and the
+// p50/p99/p999 tail.
+func (r *LatencyRecorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		r.Count(), r.Mean(), r.Percentile(50), r.Percentile(99),
+		r.Percentile(99.9), r.Max())
+}

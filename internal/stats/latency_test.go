@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	r := NewLatencyRecorder()
+	// 1000 samples: 990 at ~1ms, 10 at ~100ms.
+	for i := 0; i < 990; i++ {
+		r.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(100 * time.Millisecond)
+	}
+	if r.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", r.Count())
+	}
+	p50 := r.Percentile(50)
+	if p50 < 500*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	p999 := r.Percentile(99.9)
+	if p999 < 50*time.Millisecond {
+		t.Errorf("p999 = %v, want >= 50ms", p999)
+	}
+	if max := r.Max(); max < 99*time.Millisecond {
+		t.Errorf("max = %v, want ~100ms", max)
+	}
+	if mean := r.Mean(); mean < 1*time.Millisecond || mean > 5*time.Millisecond {
+		t.Errorf("mean = %v, want ~2ms", mean)
+	}
+}
+
+func TestLatencyRecorderMerge(t *testing.T) {
+	a, b := NewLatencyRecorder(), NewLatencyRecorder()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(10 * time.Millisecond)
+	}
+	m := NewLatencyRecorder()
+	m.Merge(a)
+	m.Merge(b)
+	if m.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", m.Count())
+	}
+	// Sources must stay usable.
+	if a.Count() != 100 || b.Count() != 100 {
+		t.Errorf("merge mutated sources: %d, %d", a.Count(), b.Count())
+	}
+	if p99 := m.Percentile(99); p99 < 5*time.Millisecond {
+		t.Errorf("merged p99 = %v, want >= 5ms", p99)
+	}
+	// Self-merge and nil-merge are no-ops.
+	m.Merge(m)
+	m.Merge(nil)
+	if m.Count() != 200 {
+		t.Errorf("self/nil merge changed count to %d", m.Count())
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Microsecond * time.Duration(1+i%100))
+				if i%100 == 0 {
+					_ = r.Percentile(99)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", r.Count())
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched layouts succeeded")
+	}
+	c := NewHistogram([]float64{1, 2, 4})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge of mismatched bounds succeeded")
+	}
+}

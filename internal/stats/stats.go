@@ -219,6 +219,36 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n }
 
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{bounds: h.bounds, sum: h.sum, n: h.n, max: h.max}
+	c.counts = append([]int64(nil), h.counts...)
+	return c
+}
+
+// Merge folds other's observations into h. The histograms must share the
+// same bucket layout.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(other.bounds) != len(h.bounds) {
+		return fmt.Errorf("stats: merge of histograms with %d and %d bounds",
+			len(h.bounds), len(other.bounds))
+	}
+	for i, b := range h.bounds {
+		if other.bounds[i] != b {
+			return fmt.Errorf("stats: merge of histograms with mismatched bound %d", i)
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.n += other.n
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
 // Mean returns the mean observation.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
