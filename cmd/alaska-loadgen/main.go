@@ -1,15 +1,22 @@
 // Command alaska-loadgen drives an alaskad server (or any memcached-
-// ASCII-protocol server) with YCSB workload mixes over real TCP
-// connections and reports throughput and latency percentiles.
+// ASCII-protocol server) with YCSB workload mixes — or a read-modify-
+// write/TTL mix — over real TCP connections and reports throughput and
+// latency percentiles.
 //
 // Usage:
 //
 //	alaska-loadgen -addr localhost:11211 -workload ycsb-a -connections 8 -duration 10s
 //	alaska-loadgen -workload ycsb-b -records 50000 -value-size 1024 -csv
+//	alaska-loadgen -workload rmw -ttl 1 -connections 4 -duration 5s
 //
 // Each connection runs on its own goroutine with its own scrambled-
 // zipfian generator, mirroring how memcached benchmarks (and the
 // paper's Figure 12 harness) spread load across client threads.
+//
+// The `rmw` workload hammers the commands most exposed to a concurrent
+// mover — incr on shared counters, append, gets+cas loops — interleaved
+// with expiring sets (-ttl), so the defrag control loop runs against
+// mutating, dying data rather than a read-mostly keyspace.
 package main
 
 import (
@@ -40,14 +47,15 @@ func parseWorkload(s string) (ycsb.Workload, error) {
 	case "f":
 		return ycsb.WorkloadF, nil
 	}
-	return 0, fmt.Errorf("unknown workload %q (want ycsb-a|ycsb-b|ycsb-c|ycsb-f)", s)
+	return 0, fmt.Errorf("unknown workload %q (want ycsb-a|ycsb-b|ycsb-c|ycsb-f|rmw)", s)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("alaska-loadgen: ")
 	addr := flag.String("addr", "localhost:11211", "server address")
-	workloadFlag := flag.String("workload", "ycsb-a", "YCSB mix: ycsb-a|ycsb-b|ycsb-c|ycsb-f")
+	workloadFlag := flag.String("workload", "ycsb-a", "mix: ycsb-a|ycsb-b|ycsb-c|ycsb-f|rmw")
+	ttl := flag.Int64("ttl", 0, "exptime (seconds) attached to every stored value; 0 = no expiry")
 	conns := flag.Int("connections", 8, "concurrent client connections")
 	records := flag.Int("records", 10000, "preloaded record count")
 	valueSize := flag.Int("value-size", 512, "value payload bytes")
@@ -58,9 +66,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit a one-line CSV result instead of the report")
 	flag.Parse()
 
-	w, err := parseWorkload(*workloadFlag)
-	if err != nil {
-		log.Fatal(err)
+	rmw := strings.EqualFold(*workloadFlag, "rmw")
+	var w ycsb.Workload
+	if !rmw {
+		var err error
+		w, err = parseWorkload(*workloadFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *conns < 1 || *records < 1 {
 		log.Fatal("-connections and -records must be positive")
@@ -101,6 +114,16 @@ func main() {
 					}
 				}
 			}
+			if rmw {
+				// Counter keyspace for incr/decr: numeric values, no TTL
+				// (an expired counter would just read as NOT_FOUND).
+				for i := c; i < counterKeys(*records); i += *conns {
+					if err := cl.SetNoreply(counterKey(i), 0, []byte("0")); err != nil {
+						loadErr.Store(err)
+						return
+					}
+				}
+			}
 			if _, err := cl.Version(); err != nil { // flush + sync
 				loadErr.Store(err)
 			}
@@ -127,11 +150,6 @@ func main() {
 				return
 			}
 			defer cl.Close()
-			gen, err := ycsb.NewGenerator(w, *records, *valueSize, *seed+int64(c)+1)
-			if err != nil {
-				errOps.Add(1)
-				return
-			}
 			val := make([]byte, *valueSize)
 			rec := recorders[c]
 			rng := rand.New(rand.NewSource(*seed + 1000 + int64(c)))
@@ -145,6 +163,48 @@ func main() {
 				}
 				return s
 			}
+			if rmw {
+				// RMW/TTL mix: every stored value carries -ttl, counters
+				// absorb incrs, and gets+cas loops contend for the same
+				// keys — read-modify-write under live defrag, the access
+				// pattern the paper's pause-free claim has to survive.
+				for time.Now().Before(deadline) {
+					key := ycsb.Key(uint64(rng.Intn(*records)))
+					start := time.Now()
+					var opErr error
+					switch r := rng.Intn(100); {
+					case r < 35:
+						_, _, _, opErr = cl.Get(key)
+					case r < 60:
+						opErr = cl.SetEx(key, 0, *ttl, val[:size(*valueSize)])
+					case r < 75:
+						_, _, opErr = cl.Incr(counterKey(rng.Intn(counterKeys(*records))), 1)
+					case r < 87:
+						// NOT_STORED (key expired/evicted) is a valid outcome.
+						_, opErr = cl.Append(key, []byte("+x"))
+					default:
+						// One optimistic cas round; EXISTS/NOT_FOUND are
+						// valid outcomes under contention and expiry.
+						if v, _, casID, ok, gerr := cl.Gets(key); gerr != nil {
+							opErr = gerr
+						} else if ok {
+							_, opErr = cl.Cas(key, 0, *ttl, casID, append(v[:len(v):len(v)], '!'))
+						}
+					}
+					if opErr != nil {
+						errOps.Add(1)
+						return
+					}
+					rec.Record(time.Since(start))
+					totalOps.Add(1)
+				}
+				return
+			}
+			gen, err := ycsb.NewGenerator(w, *records, *valueSize, *seed+int64(c)+1)
+			if err != nil {
+				errOps.Add(1)
+				return
+			}
 			for time.Now().Before(deadline) {
 				op := gen.Next()
 				start := time.Now()
@@ -154,10 +214,10 @@ func main() {
 					_, _, _, opErr = cl.Get(op.Key)
 				case ycsb.ReadModifyWrite:
 					if _, _, _, opErr = cl.Get(op.Key); opErr == nil {
-						opErr = cl.Set(op.Key, 0, val[:size(op.ValueSize)])
+						opErr = cl.SetEx(op.Key, 0, *ttl, val[:size(op.ValueSize)])
 					}
 				default: // Update / Insert
-					opErr = cl.Set(op.Key, 0, val[:size(op.ValueSize)])
+					opErr = cl.SetEx(op.Key, 0, *ttl, val[:size(op.ValueSize)])
 				}
 				if opErr != nil {
 					errOps.Add(1)
@@ -220,3 +280,16 @@ func main() {
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// counterKeys sizes the rmw workload's shared-counter keyspace: a tenth
+// of the record count, at least one, so counters see real incr
+// contention.
+func counterKeys(records int) int {
+	n := records / 10
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func counterKey(i int) string { return "ctr" + fmt.Sprintf("%08d", i) }

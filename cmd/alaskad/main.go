@@ -1,10 +1,12 @@
 // Command alaskad is a network-facing memcached-protocol server on the
 // Alaska heap: the paper's "production-scale system serving heavy
-// traffic" claim made concrete. It speaks the memcached ASCII protocol
-// (get/gets/set/add/replace/delete/stats/version/quit) over TCP, serves
-// every value out of a pluggable heap backend, and — on the Anchorage
-// backend — defragments the heap under live traffic with both the §4.3
-// stop-the-world control loop and the §7 pause-free concurrent pass.
+// traffic" claim made concrete. It speaks the full memcached ASCII
+// storage surface (get/gets/gat/gats, set/add/replace/cas/append/
+// prepend, incr/decr, delete/touch, stats/version/quit) with enforced
+// TTLs over TCP, serves every value out of a pluggable heap backend,
+// and — on the Anchorage backend — defragments the heap under live
+// traffic with both the §4.3 stop-the-world control loop and the §7
+// pause-free concurrent pass.
 //
 // Usage:
 //
@@ -31,7 +33,7 @@ import (
 	"alaska/internal/server"
 )
 
-const version = "0.2.0-alaska"
+const version = "0.3.0-alaska"
 
 // parseBytes accepts "1048576", "1MiB", "256KiB", "2GiB".
 func parseBytes(s string) (uint64, error) {

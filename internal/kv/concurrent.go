@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ShardedStore is the memcached-like concurrent store used by the
@@ -17,6 +19,12 @@ type ShardedStore struct {
 	shards  []*shard
 	// MaxMemoryPerShard caps each shard's byte usage (0 = unlimited).
 	MaxMemoryPerShard uint64
+	// Clock supplies the wall-clock time used for expiry decisions; nil
+	// means time.Now. Swap in a fake before serving traffic to make TTL
+	// behavior deterministic in tests.
+	Clock func() time.Time
+
+	sweeps atomic.Int64 // expiry sweep rounds run
 }
 
 type shard struct {
@@ -24,7 +32,23 @@ type shard struct {
 	index map[string]*entry
 	lru   *list.List
 	used  uint64
+	// ttl counts live entries carrying a deadline, so the sweep can skip
+	// the shard outright for TTL-free workloads.
+	ttl   int
 	stats StatsSnapshot // per-shard counters, aggregated by Snapshot
+}
+
+// setDeadline rewrites e's deadline, keeping the shard's ttl-entry count
+// exact. Caller holds sh.mu.
+func (sh *shard) setDeadline(e *entry, expireAt time.Time) {
+	if e.expireAt.IsZero() != expireAt.IsZero() {
+		if expireAt.IsZero() {
+			sh.ttl--
+		} else {
+			sh.ttl++
+		}
+	}
+	e.expireAt = expireAt
 }
 
 // SetMode selects the conditional-store semantics of SetWith, mirroring
@@ -55,6 +79,13 @@ func (s *ShardedStore) Backend() Backend { return s.backend }
 // NewSession opens a worker session.
 func (s *ShardedStore) NewSession() Session { return s.backend.NewSession() }
 
+func (s *ShardedStore) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
 func (s *ShardedStore) shardFor(key string) *shard {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(key))
@@ -67,40 +98,45 @@ func (s *ShardedStore) removeLocked(sh *shard, e *entry) {
 	_ = s.backend.Free(e.ref, e.size)
 	sh.lru.Remove(e.el)
 	delete(sh.index, e.key)
-}
-
-// Set stores key=value through the worker's session.
-func (s *ShardedStore) Set(sess Session, key string, value []byte) error {
-	_, err := s.SetWith(sess, key, value, SetAlways)
-	return err
-}
-
-// SetWith stores key=value under the given conditional mode, reporting
-// whether the value was stored. The existence check and the store are one
-// critical section, so concurrent add/replace races resolve like
-// memcached's: exactly one concurrent `add` of a key wins.
-func (s *ShardedStore) SetWith(sess Session, key string, value []byte, mode SetMode) (bool, error) {
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.stats.Sets++
-	_, exists := sh.index[key]
-	switch mode {
-	case SetAdd:
-		if exists {
-			return false, nil
-		}
-	case SetReplace:
-		if !exists {
-			return false, nil
-		}
+	if !e.expireAt.IsZero() {
+		sh.ttl--
 	}
-	// Make room counting the old value as gone-to-be: it is only actually
-	// removed once the new value is durably written, so a failed store
-	// leaves the previous value intact. (The LRU walk may evict the old
-	// entry itself under a tight cap; the post-write removal re-checks.)
+}
+
+// lookupLocked returns key's entry after lazy expiry: an entry whose
+// deadline has passed is reclaimed on the spot (counted in Expired) and
+// reported absent — memcached's expire-on-access. Caller holds sh.mu.
+func (s *ShardedStore) lookupLocked(sh *shard, key string, now time.Time) (*entry, bool) {
+	e, ok := sh.index[key]
+	if !ok {
+		return nil, false
+	}
+	if e.expiredAt(now) {
+		s.removeLocked(sh, e)
+		sh.stats.Expired++
+		return nil, false
+	}
+	return e, true
+}
+
+// insertLocked allocates, writes, and links a fresh entry, replacing any
+// survivor under key. Room is made first: LRU entries are evicted until
+// the new value fits, with the replaced entry's bytes discounted (an
+// in-place overwrite needs no net room) but its removal deferred until
+// the new value is durably written, so a failed store leaves the
+// previous value intact. The old entry is re-looked-up each round (and
+// again after the write) because the eviction walk may evict it. Caller
+// holds sh.mu.
+func (s *ShardedStore) insertLocked(sh *shard, sess Session, key string, value []byte, expireAt time.Time) error {
 	if s.MaxMemoryPerShard > 0 {
-		for sh.used+uint64(len(value)) > s.MaxMemoryPerShard {
+		for {
+			used := sh.used
+			if old, ok := sh.index[key]; ok {
+				used -= old.size
+			}
+			if used+uint64(len(value)) <= s.MaxMemoryPerShard {
+				break
+			}
 			back := sh.lru.Back()
 			if back == nil {
 				break
@@ -111,23 +147,142 @@ func (s *ShardedStore) SetWith(sess Session, key string, value []byte, mode SetM
 	}
 	ref, err := s.backend.Alloc(uint64(len(value)))
 	if err != nil {
-		return false, fmt.Errorf("kv: sharded set %q: %w", key, err)
+		return fmt.Errorf("kv: sharded store %q: %w", key, err)
 	}
 	if err := sess.Write(ref, 0, value); err != nil {
 		_ = s.backend.Free(ref, uint64(len(value)))
-		return false, err
+		return err
 	}
 	if old, ok := sh.index[key]; ok {
 		s.removeLocked(sh, old)
 	}
-	e := &entry{key: key, ref: ref, size: uint64(len(value))}
+	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt}
 	e.el = sh.lru.PushFront(e)
 	sh.index[key] = e
 	sh.used += e.size
+	if !expireAt.IsZero() {
+		sh.ttl++
+	}
+	return nil
+}
+
+// Set stores key=value through the worker's session.
+func (s *ShardedStore) Set(sess Session, key string, value []byte) error {
+	_, err := s.SetWith(sess, key, value, SetAlways)
+	return err
+}
+
+// SetWith stores key=value with no expiry deadline under the given
+// conditional mode.
+func (s *ShardedStore) SetWith(sess Session, key string, value []byte, mode SetMode) (bool, error) {
+	return s.SetEx(sess, key, value, mode, time.Time{})
+}
+
+// SetEx stores key=value under the given conditional mode with an
+// absolute expiry deadline (zero = never expires), reporting whether the
+// value was stored. The existence check and the store are one critical
+// section, so concurrent add/replace races resolve like memcached's:
+// exactly one concurrent `add` of a key wins. An entry past its deadline
+// counts as absent — `add` succeeds over a dead value, `replace` does
+// not revive one.
+func (s *ShardedStore) SetEx(sess Session, key string, value []byte, mode SetMode, expireAt time.Time) (bool, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Sets++
+	_, exists := s.lookupLocked(sh, key, s.now())
+	switch mode {
+	case SetAdd:
+		if exists {
+			return false, nil
+		}
+	case SetReplace:
+		if !exists {
+			return false, nil
+		}
+	}
+	if err := s.insertLocked(sh, sess, key, value, expireAt); err != nil {
+		return false, err
+	}
 	return true, nil
 }
 
-// Get reads key through the worker's session; nil if absent.
+// Apply runs a read-modify-write on key as one critical section: fn sees
+// a copy of the current value (old == nil, found == false when the key is
+// absent or expired) and decides the outcome — store a new value, touch
+// the deadline, delete, or do nothing. The shard lock is held from the
+// read through the write-back, so a concurrent set/delete/defrag pass can
+// never interleave: this is the primitive behind cas, incr/decr, and
+// append/prepend, and the access pattern most exposed to a concurrent
+// mover. fn must be fast and must not call back into the store.
+func (s *ShardedStore) Apply(sess Session, key string, fn func(old []byte, found bool) ApplyOp) error {
+	return s.apply(sess, key, true, fn)
+}
+
+// apply is Apply with the value copy-out optional: Touch's callback never
+// looks at the bytes, so it skips the read entirely (a touch of a large
+// value must not copy it under the shard lock).
+func (s *ShardedStore) apply(sess Session, key string, needValue bool, fn func(old []byte, found bool) ApplyOp) error {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, found := s.lookupLocked(sh, key, s.now())
+	var old []byte
+	if found && needValue {
+		old = make([]byte, e.size)
+		if err := sess.Read(e.ref, 0, old); err != nil {
+			return err
+		}
+	}
+	op := fn(old, found)
+	// The counter is bumped only once the verdict has actually taken
+	// effect: a hit whose write-back fails must not inflate cas_hits
+	// past the number of successful replies.
+	switch op.Verdict {
+	case ApplyNone:
+	case ApplyDelete:
+		if found {
+			s.removeLocked(sh, e)
+		}
+	case ApplyTouch:
+		if found {
+			sh.setDeadline(e, op.Expire)
+			sh.lru.MoveToFront(e.el)
+		}
+	case ApplyStore:
+		expire := op.Expire
+		if op.KeepExpire && found {
+			expire = e.expireAt
+		}
+		if err := s.insertLocked(sh, sess, key, op.Value, expire); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("kv: apply %q: bad verdict %d", key, op.Verdict)
+	}
+	sh.stats.bump(op.Stat)
+	return nil
+}
+
+// CompareAndSwap stores next only if the current value is byte-equal to
+// expected, as one critical section. It reports whether the swap
+// happened and whether the key was present at all — the kv-level
+// analogue of memcached's cas (which compares uniques the protocol layer
+// keeps inside the value).
+func (s *ShardedStore) CompareAndSwap(sess Session, key string, expected, next []byte) (swapped, found bool, err error) {
+	err = s.Apply(sess, key, casApply(expected, next, &swapped, &found))
+	return swapped, found, err
+}
+
+// Touch replaces key's expiry deadline (zero = never expires), reporting
+// whether the key was present and alive. Implemented over Apply so the
+// touch semantics live in exactly one place per store.
+func (s *ShardedStore) Touch(sess Session, key string, expireAt time.Time) (found bool, err error) {
+	err = s.apply(sess, key, false, touchApply(expireAt, &found))
+	return found, err
+}
+
+// Get reads key through the worker's session; nil if absent or expired.
 //
 // The copy-out happens under the shard lock: with `delete` (and same-key
 // `set`, which frees the old value) now arriving from untrusted network
@@ -138,13 +293,27 @@ func (s *ShardedStore) SetWith(sess Session, key string, value []byte, mode SetM
 // Alaska the session additionally pins the handle so a concurrent
 // relocation pass cannot move the object mid-copy.
 func (s *ShardedStore) Get(sess Session, key string) ([]byte, error) {
+	return s.get(sess, key, false, time.Time{})
+}
+
+// GetAndTouch is Get plus a deadline update on a hit, as one critical
+// section (memcached `gat`/`gats`). It bumps both the get and the touch
+// counters, like memcached.
+func (s *ShardedStore) GetAndTouch(sess Session, key string, expireAt time.Time) ([]byte, error) {
+	return s.get(sess, key, true, expireAt)
+}
+
+func (s *ShardedStore) get(sess Session, key string, touch bool, expireAt time.Time) ([]byte, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.stats.Gets++
-	e, ok := sh.index[key]
+	e, ok := s.lookupLocked(sh, key, s.now())
 	if !ok {
 		sh.stats.Misses++
+		if touch {
+			sh.stats.TouchMisses++
+		}
 		return nil, nil
 	}
 	sh.stats.Hits++
@@ -153,16 +322,24 @@ func (s *ShardedStore) Get(sess Session, key string) ([]byte, error) {
 	if err := sess.Read(e.ref, 0, buf); err != nil {
 		return nil, err
 	}
+	// The deadline moves only after the read succeeded: a failed gat
+	// must not extend — or, with a negative exptime, destroy — a value
+	// the client never received.
+	if touch {
+		sh.stats.TouchHits++
+		sh.setDeadline(e, expireAt)
+	}
 	return buf, nil
 }
 
 // Del removes key through the worker's session, reporting whether it
-// existed.
+// existed. A dead (expired) entry is reclaimed but reported as a miss,
+// like memcached's delete of an expired item.
 func (s *ShardedStore) Del(sess Session, key string) (bool, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, ok := sh.index[key]
+	e, ok := s.lookupLocked(sh, key, s.now())
 	if !ok {
 		sh.stats.DeleteMisses++
 		return false, nil
@@ -170,6 +347,50 @@ func (s *ShardedStore) Del(sess Session, key string) (bool, error) {
 	sh.stats.DeleteHits++
 	s.removeLocked(sh, e)
 	return true, nil
+}
+
+// SweepExpired scans up to budget entries per shard and reclaims those
+// past their deadline, returning the number reclaimed. Bounded scans over
+// Go's randomized map iteration order make repeated calls a probabilistic
+// crawler over the whole keyspace, so dead items release heap even if
+// never accessed again — which matters here more than in stock memcached,
+// because unreclaimed bytes hold their sub-heaps hostage against the
+// defrag controller's truncation.
+func (s *ShardedStore) SweepExpired(budget int) int {
+	now := s.now()
+	reclaimed := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		// TTL-free shards are skipped outright, so workloads that never
+		// set an exptime pay nothing for the sweep.
+		if sh.ttl == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		scanned := 0
+		for _, e := range sh.index {
+			if scanned >= budget {
+				break
+			}
+			scanned++
+			if e.expiredAt(now) {
+				s.removeLocked(sh, e)
+				sh.stats.Expired++
+				reclaimed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	s.sweeps.Add(1)
+	return reclaimed
+}
+
+// Maintain advances the backend's background machinery to simulated time
+// now and runs one expiry-sweep increment, returning pause time incurred.
+func (s *ShardedStore) Maintain(now time.Duration) time.Duration {
+	pause := s.backend.Maintain(now)
+	s.SweepExpired(sweepBudgetPerShard)
+	return pause
 }
 
 // Len returns the total number of keys.
@@ -198,9 +419,20 @@ func (s *ShardedStore) Snapshot() StatsSnapshot {
 		out.DeleteHits += sh.stats.DeleteHits
 		out.DeleteMisses += sh.stats.DeleteMisses
 		out.Evictions += sh.stats.Evictions
+		out.Expired += sh.stats.Expired
+		out.CasHits += sh.stats.CasHits
+		out.CasBadval += sh.stats.CasBadval
+		out.CasMisses += sh.stats.CasMisses
+		out.IncrHits += sh.stats.IncrHits
+		out.IncrMisses += sh.stats.IncrMisses
+		out.DecrHits += sh.stats.DecrHits
+		out.DecrMisses += sh.stats.DecrMisses
+		out.TouchHits += sh.stats.TouchHits
+		out.TouchMisses += sh.stats.TouchMisses
 		out.Keys += len(sh.index)
 		sh.mu.Unlock()
 	}
+	out.ExpirySweeps = s.sweeps.Load()
 	out.Used = s.backend.UsedBytes()
 	out.RSS = s.backend.RSS()
 	return out

@@ -1,0 +1,139 @@
+package kv
+
+import (
+	"bytes"
+	"time"
+)
+
+// This file defines the read-modify-write primitive shared by Store and
+// ShardedStore. Memcached's cas/incr/decr/append/prepend commands all
+// read a value, compute, and write back — exactly the access pattern
+// most exposed to a concurrent mover relocating the block in between.
+// Apply closes that window by running the whole cycle as one critical
+// section (the shard lock on ShardedStore), so the protocol layer gets
+// linearizable RMW without knowing anything about locks or relocation.
+
+// ApplyVerdict selects what Apply does after the callback has inspected
+// the current value.
+type ApplyVerdict int
+
+const (
+	// ApplyNone leaves the entry untouched (cas mismatch, incr on a
+	// non-numeric value).
+	ApplyNone ApplyVerdict = iota
+	// ApplyStore replaces — or, when the key was absent, inserts — the
+	// value.
+	ApplyStore
+	// ApplyTouch keeps the stored bytes and replaces only the expiry
+	// deadline (memcached `touch`).
+	ApplyTouch
+	// ApplyDelete removes the entry.
+	ApplyDelete
+)
+
+// RMWStat names a StatsSnapshot counter for Apply (and Touch) to bump
+// while still holding the shard lock, so protocol-level hit/miss
+// accounting can never disagree with the outcome that produced it.
+type RMWStat int
+
+const (
+	// StatNone bumps nothing.
+	StatNone RMWStat = iota
+	// StatCasHit … StatCasMiss partition memcached `cas` outcomes.
+	StatCasHit
+	StatCasBadval
+	StatCasMiss
+	// StatIncrHit/StatIncrMiss and the decr pair partition incr/decr.
+	StatIncrHit
+	StatIncrMiss
+	StatDecrHit
+	StatDecrMiss
+	// StatTouchHit/StatTouchMiss partition touch (and gat's touch half).
+	StatTouchHit
+	StatTouchMiss
+)
+
+// ApplyOp is the outcome an Apply callback returns.
+type ApplyOp struct {
+	Verdict ApplyVerdict
+	// Value is stored under ApplyStore.
+	Value []byte
+	// Expire is the new deadline under ApplyStore and ApplyTouch; the
+	// zero time means "never expires".
+	Expire time.Time
+	// KeepExpire retains the entry's current deadline under ApplyStore —
+	// incr/decr/append/prepend mutate the value without touching its TTL.
+	KeepExpire bool
+	// Stat is the counter to bump, whatever the verdict.
+	Stat RMWStat
+}
+
+// casApply builds the Apply callback both stores' CompareAndSwap share:
+// swap in next only if the current value is byte-equal to expected,
+// keeping the deadline and bumping the matching cas counter. The
+// outcome flags are written through the pointers while the callback
+// still holds whatever lock Apply holds.
+func casApply(expected, next []byte, swapped, found *bool) func(old []byte, ok bool) ApplyOp {
+	return func(old []byte, ok bool) ApplyOp {
+		*found = ok
+		if !ok {
+			return ApplyOp{Stat: StatCasMiss}
+		}
+		if !bytes.Equal(old, expected) {
+			return ApplyOp{Stat: StatCasBadval}
+		}
+		*swapped = true
+		return ApplyOp{Verdict: ApplyStore, Value: next, KeepExpire: true, Stat: StatCasHit}
+	}
+}
+
+// touchApply builds the Apply callback both stores' Touch share: update
+// the deadline on a live entry, count the hit/miss either way.
+func touchApply(expireAt time.Time, found *bool) func(old []byte, ok bool) ApplyOp {
+	return func(_ []byte, ok bool) ApplyOp {
+		*found = ok
+		if !ok {
+			return ApplyOp{Stat: StatTouchMiss}
+		}
+		return ApplyOp{Verdict: ApplyTouch, Expire: expireAt, Stat: StatTouchHit}
+	}
+}
+
+// bump increments the counter named by stat.
+func (st *StatsSnapshot) bump(stat RMWStat) {
+	switch stat {
+	case StatCasHit:
+		st.CasHits++
+	case StatCasBadval:
+		st.CasBadval++
+	case StatCasMiss:
+		st.CasMisses++
+	case StatIncrHit:
+		st.IncrHits++
+	case StatIncrMiss:
+		st.IncrMisses++
+	case StatDecrHit:
+		st.DecrHits++
+	case StatDecrMiss:
+		st.DecrMisses++
+	case StatTouchHit:
+		st.TouchHits++
+	case StatTouchMiss:
+		st.TouchMisses++
+	}
+}
+
+// expiredAt reports whether the entry's deadline has passed at now; a
+// zero deadline never expires. Memcached semantics: an item is dead the
+// moment now reaches the deadline.
+func (e *entry) expiredAt(now time.Time) bool {
+	return !e.expireAt.IsZero() && !now.Before(e.expireAt)
+}
+
+// sweepBudgetPerShard bounds how many entries one Maintain tick examines
+// per shard looking for expired items. Go's randomized map iteration
+// order makes repeated bounded scans a probabilistic crawler over the
+// whole keyspace — the same shape as memcached's LRU crawler and Redis's
+// activeExpireCycle — so memory held by dead items is reclaimed even if
+// they are never touched again.
+const sweepBudgetPerShard = 64

@@ -1,0 +1,344 @@
+package kv
+
+// Tests for the read-modify-write primitive (Apply/CompareAndSwap) and
+// TTL machinery (lazy expiry, Touch, SweepExpired) on both stores, across
+// every backend.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable clock for deterministic expiry tests.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestShardedApplyRMW(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := NewShardedStore(b, 4, 0)
+			sess := st.NewSession()
+			defer sess.Close()
+
+			// Apply on a missing key sees found == false.
+			called := false
+			if err := st.Apply(sess, "k", func(old []byte, found bool) ApplyOp {
+				called = true
+				if found || old != nil {
+					t.Errorf("missing key: found=%v old=%v", found, old)
+				}
+				return ApplyOp{}
+			}); err != nil || !called {
+				t.Fatalf("apply miss: called=%v err=%v", called, err)
+			}
+
+			// ApplyStore inserts, then mutates in place.
+			if err := st.Set(sess, "k", []byte("abc")); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Apply(sess, "k", func(old []byte, found bool) ApplyOp {
+				if !found || string(old) != "abc" {
+					t.Errorf("apply read: found=%v old=%q", found, old)
+				}
+				return ApplyOp{Verdict: ApplyStore, Value: append(old, 'd')}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := st.Get(sess, "k"); string(v) != "abcd" {
+				t.Errorf("after apply: %q", v)
+			}
+
+			// ApplyDelete removes; ApplyNone leaves untouched.
+			if err := st.Apply(sess, "k", func([]byte, bool) ApplyOp {
+				return ApplyOp{Verdict: ApplyDelete}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := st.Get(sess, "k"); v != nil {
+				t.Errorf("after apply-delete: %q", v)
+			}
+		})
+	}
+}
+
+func TestShardedCompareAndSwap(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := NewShardedStore(b, 4, 0)
+			sess := st.NewSession()
+			defer sess.Close()
+			if _, found, err := st.CompareAndSwap(sess, "k", []byte("x"), []byte("y")); err != nil || found {
+				t.Fatalf("cas on missing: found=%v err=%v", found, err)
+			}
+			if err := st.Set(sess, "k", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if swapped, _, _ := st.CompareAndSwap(sess, "k", []byte("stale"), []byte("v2")); swapped {
+				t.Error("cas with stale expected value swapped")
+			}
+			if v, _ := st.Get(sess, "k"); string(v) != "v1" {
+				t.Errorf("after failed cas: %q", v)
+			}
+			if swapped, _, _ := st.CompareAndSwap(sess, "k", []byte("v1"), []byte("v2")); !swapped {
+				t.Error("cas with matching expected value did not swap")
+			}
+			if v, _ := st.Get(sess, "k"); string(v) != "v2" {
+				t.Errorf("after cas: %q", v)
+			}
+			snap := st.Snapshot()
+			if snap.CasHits != 1 || snap.CasBadval != 1 || snap.CasMisses != 1 {
+				t.Errorf("cas counters: hits=%d badval=%d misses=%d, want 1/1/1",
+					snap.CasHits, snap.CasBadval, snap.CasMisses)
+			}
+		})
+	}
+}
+
+// TestShardedCASContention: concurrent CompareAndSwap over one key must
+// admit exactly one winner per generation — final value equals the
+// total number of successful swaps.
+func TestShardedCASContention(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := NewShardedStore(b, 4, 0)
+			init := st.NewSession()
+			if err := st.Set(init, "ctr", []byte("0")); err != nil {
+				t.Fatal(err)
+			}
+			init.Close()
+
+			workers, attempts := 8, 200
+			if testing.Short() {
+				attempts = 50
+			}
+			wins := make([]int64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sess := st.NewSession()
+					defer sess.Close()
+					for i := 0; i < attempts; i++ {
+						cur, err := st.Get(sess, "ctr")
+						if err != nil || cur == nil {
+							t.Errorf("worker %d: get: %q %v", w, cur, err)
+							return
+						}
+						var n int64
+						fmt.Sscanf(string(cur), "%d", &n)
+						next := []byte(fmt.Sprintf("%d", n+1))
+						swapped, found, err := st.CompareAndSwap(sess, "ctr", cur, next)
+						if err != nil || !found {
+							t.Errorf("worker %d: cas: found=%v err=%v", w, found, err)
+							return
+						}
+						if swapped {
+							wins[w]++
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total int64
+			for _, n := range wins {
+				total += n
+			}
+			sess := st.NewSession()
+			defer sess.Close()
+			final, _ := st.Get(sess, "ctr")
+			var got int64
+			fmt.Sscanf(string(final), "%d", &got)
+			if got != total {
+				t.Errorf("final counter %d != %d successful swaps (lost or duplicated generations)", got, total)
+			}
+		})
+	}
+}
+
+func TestShardedExpiry(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			clk := newManualClock()
+			st := NewShardedStore(b, 4, 0)
+			st.Clock = clk.Now
+			sess := st.NewSession()
+			defer sess.Close()
+
+			deadline := clk.Now().Add(5 * time.Second)
+			if _, err := st.SetEx(sess, "k", []byte("v"), SetAlways, deadline); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := st.Get(sess, "k"); string(v) != "v" {
+				t.Fatalf("before deadline: %q", v)
+			}
+			clk.Advance(5 * time.Second) // exactly at the deadline = dead
+			if v, _ := st.Get(sess, "k"); v != nil {
+				t.Errorf("at deadline: still alive: %q", v)
+			}
+			snap := st.Snapshot()
+			if snap.Expired != 1 {
+				t.Errorf("Expired = %d, want 1", snap.Expired)
+			}
+			if snap.Keys != 0 {
+				t.Errorf("Keys = %d after lazy expiry, want 0", snap.Keys)
+			}
+
+			// add resurrects an expired key; replace must not.
+			if _, err := st.SetEx(sess, "k", []byte("v"), SetAlways, clk.Now().Add(time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(2 * time.Second)
+			if stored, _ := st.SetEx(sess, "k", []byte("r"), SetReplace, time.Time{}); stored {
+				t.Error("replace revived an expired key")
+			}
+			if stored, _ := st.SetEx(sess, "k", []byte("a"), SetAdd, time.Time{}); !stored {
+				t.Error("add refused over an expired key")
+			}
+
+			// Touch moves the deadline; Del of a dead key is a miss.
+			if _, err := st.SetEx(sess, "t", []byte("v"), SetAlways, clk.Now().Add(time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := st.Touch(sess, "t", clk.Now().Add(10*time.Second)); !ok {
+				t.Error("touch on live key missed")
+			}
+			clk.Advance(5 * time.Second)
+			if v, _ := st.Get(sess, "t"); string(v) != "v" {
+				t.Errorf("touched key died early: %q", v)
+			}
+			clk.Advance(6 * time.Second)
+			if existed, _ := st.Del(sess, "t"); existed {
+				t.Error("delete of expired key reported a hit")
+			}
+			if ok, _ := st.Touch(sess, "t", time.Time{}); ok {
+				t.Error("touch on dead key reported a hit")
+			}
+		})
+	}
+}
+
+func TestShardedSweepReclaims(t *testing.T) {
+	clk := newManualClock()
+	b := NewMallocBackend()
+	st := NewShardedStore(b, 4, 0)
+	st.Clock = clk.Now
+	sess := st.NewSession()
+	defer sess.Close()
+
+	const n = 200
+	deadline := clk.Now().Add(time.Second)
+	for i := 0; i < n; i++ {
+		if _, err := st.SetEx(sess, fmt.Sprintf("k%03d", i), bytes.Repeat([]byte("x"), 64), SetAlways, deadline); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.SetEx(sess, "keeper", []byte("alive"), SetAlways, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	used := b.UsedBytes()
+	clk.Advance(2 * time.Second)
+
+	// No accesses: only the sweep may reclaim. The per-shard budget means
+	// several rounds; bound them generously.
+	reclaimed := 0
+	for i := 0; i < 100 && reclaimed < n; i++ {
+		reclaimed += st.SweepExpired(16)
+	}
+	if reclaimed != n {
+		t.Fatalf("sweep reclaimed %d, want %d", reclaimed, n)
+	}
+	snap := st.Snapshot()
+	if snap.Expired != n {
+		t.Errorf("Expired = %d, want %d", snap.Expired, n)
+	}
+	if snap.ExpirySweeps == 0 {
+		t.Error("ExpirySweeps = 0")
+	}
+	if snap.Keys != 1 {
+		t.Errorf("Keys = %d, want 1 (the unexpiring keeper)", snap.Keys)
+	}
+	if b.UsedBytes() >= used {
+		t.Errorf("sweep released no heap: used %d -> %d", used, b.UsedBytes())
+	}
+	if v, _ := st.Get(sess, "keeper"); string(v) != "alive" {
+		t.Errorf("keeper damaged by sweep: %q", v)
+	}
+}
+
+func TestStoreApplyAndExpiry(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			clk := newManualClock()
+			s := NewStore(b, 0)
+			s.Clock = clk.Now
+
+			// Apply RMW on the single-threaded store.
+			if err := s.Set("k", []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Apply("k", func(old []byte, found bool) ApplyOp {
+				if !found {
+					t.Error("apply missed a live key")
+				}
+				return ApplyOp{Verdict: ApplyStore, Value: append(old, '2')}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := s.Get("k"); string(v) != "12" {
+				t.Errorf("after apply: %q", v)
+			}
+			if swapped, _, _ := s.CompareAndSwap("k", []byte("12"), []byte("3")); !swapped {
+				t.Error("store cas did not swap")
+			}
+
+			// Expiry: lazy on get, eager via sweep (wired into Maintain).
+			if err := s.SetEx("dead", []byte("x"), clk.Now().Add(time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(2 * time.Second)
+			s.Maintain(0)
+			snap := s.Snapshot()
+			if snap.Expired != 1 || snap.ExpirySweeps == 0 {
+				t.Errorf("after Maintain: Expired=%d ExpirySweeps=%d", snap.Expired, snap.ExpirySweeps)
+			}
+			if v, _ := s.Get("dead"); v != nil {
+				t.Errorf("dead key still readable: %q", v)
+			}
+			// KeepExpire: RMW preserves the deadline.
+			if err := s.SetEx("ttl", []byte("5"), clk.Now().Add(10*time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Apply("ttl", func(old []byte, found bool) ApplyOp {
+				return ApplyOp{Verdict: ApplyStore, Value: []byte("6"), KeepExpire: true}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(11 * time.Second)
+			if v, _ := s.Get("ttl"); v != nil {
+				t.Errorf("KeepExpire lost the deadline: %q survived", v)
+			}
+		})
+	}
+}

@@ -12,6 +12,19 @@ type StatsSnapshot struct {
 	DeleteHits, DeleteMisses int64
 	// Evictions counts LRU evictions.
 	Evictions int64
+	// Expired counts entries reclaimed past their deadline, whether by
+	// lazy expiry on access or by the Maintain sweep. ExpirySweeps counts
+	// sweep rounds run.
+	Expired, ExpirySweeps int64
+	// CasHits/CasBadval/CasMisses partition compare-and-swap outcomes:
+	// matched, mismatched unique, absent key.
+	CasHits, CasBadval, CasMisses int64
+	// IncrHits/IncrMisses and the decr pair partition incr/decr by key
+	// presence.
+	IncrHits, IncrMisses int64
+	DecrHits, DecrMisses int64
+	// TouchHits/TouchMisses partition touch/gat deadline updates.
+	TouchHits, TouchMisses int64
 	// Keys is the current live-key count.
 	Keys int
 	// Used is the allocator-level live-byte count (used_memory); RSS is

@@ -16,6 +16,9 @@ type Store struct {
 	session Session
 	// MaxMemory is the eviction threshold over UsedBytes (0 = unlimited).
 	MaxMemory uint64
+	// Clock supplies the wall-clock time used for expiry decisions; nil
+	// means time.Now. Swap in a fake for deterministic TTL tests.
+	Clock func() time.Time
 
 	index map[string]*entry
 	lru   *list.List // front = most recently used
@@ -27,13 +30,23 @@ type Store struct {
 	Sets, Gets               int64
 	Hits, Misses             int64
 	DeleteHits, DeleteMisses int64
+	// rmw holds the expiry and read-modify-write counters (Expired,
+	// CasHits, …) that Apply and the expiry paths bump.
+	rmw StatsSnapshot
+	// ttlEntries counts live entries carrying a deadline, so Maintain —
+	// which the figure/YCSB harnesses call once per simulated op — can
+	// skip the sweep entirely for TTL-free workloads.
+	ttlEntries int
 }
 
 type entry struct {
 	key  string
 	ref  Ref
 	size uint64
-	el   *list.Element
+	// expireAt is the absolute expiry deadline; the zero time means the
+	// entry never expires.
+	expireAt time.Time
+	el       *list.Element
 }
 
 // NewStore builds a store over the backend. For the Anchorage backend the
@@ -65,17 +78,58 @@ func (s *Store) Backend() Backend { return s.backend }
 // Len returns the number of live keys.
 func (s *Store) Len() int { return len(s.index) }
 
+func (s *Store) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// lookup returns key's entry after lazy expiry: an entry past its
+// deadline is reclaimed on the spot and reported absent.
+func (s *Store) lookup(key string) (*entry, bool) {
+	e, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	if e.expiredAt(s.now()) {
+		s.removeEntry(e)
+		s.rmw.Expired++
+		return nil, false
+	}
+	return e, true
+}
+
 // Set inserts or replaces key with value, evicting LRU entries as needed
 // to respect MaxMemory.
 func (s *Store) Set(key string, value []byte) error {
+	return s.SetEx(key, value, time.Time{})
+}
+
+// SetEx is Set with an absolute expiry deadline (zero = never expires).
+func (s *Store) SetEx(key string, value []byte, expireAt time.Time) error {
 	s.Sets++
-	if old, ok := s.index[key]; ok {
-		s.removeEntry(old)
-	}
-	// Evict-before-insert until the new value fits (Redis's
-	// freeMemoryIfNeeded).
+	return s.insert(key, value, expireAt)
+}
+
+// insert is the uncounted store path shared by SetEx and Apply (RMW
+// write-backs are not `set` commands, so they skip the Sets counter).
+func (s *Store) insert(key string, value []byte, expireAt time.Time) error {
+	// Evict until the new value fits (Redis's freeMemoryIfNeeded). The
+	// replaced entry's bytes are discounted — an in-place overwrite needs
+	// no net room — but its actual removal is deferred until the new
+	// value is durably written, so a failed store (in particular a failed
+	// Apply write-back) leaves the previous value intact. The old entry
+	// is re-looked-up each round because the LRU walk may evict it.
 	if s.MaxMemory > 0 {
-		for s.backend.UsedBytes()+uint64(len(value)) > s.MaxMemory {
+		for {
+			used := s.backend.UsedBytes()
+			if old, ok := s.index[key]; ok {
+				used -= old.size
+			}
+			if used+uint64(len(value)) <= s.MaxMemory {
+				break
+			}
 			if !s.evictLRU() {
 				break
 			}
@@ -89,16 +143,22 @@ func (s *Store) Set(key string, value []byte) error {
 		_ = s.backend.Free(ref, uint64(len(value)))
 		return err
 	}
-	e := &entry{key: key, ref: ref, size: uint64(len(value))}
+	if old, ok := s.index[key]; ok {
+		s.removeEntry(old)
+	}
+	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt}
 	e.el = s.lru.PushFront(e)
 	s.index[key] = e
+	if !expireAt.IsZero() {
+		s.ttlEntries++
+	}
 	return nil
 }
 
-// Get returns a copy of key's value, or nil if absent.
+// Get returns a copy of key's value, or nil if absent or expired.
 func (s *Store) Get(key string) ([]byte, error) {
 	s.Gets++
-	e, ok := s.index[key]
+	e, ok := s.lookup(key)
 	if !ok {
 		s.Misses++
 		return nil, nil
@@ -112,9 +172,10 @@ func (s *Store) Get(key string) ([]byte, error) {
 	return buf, nil
 }
 
-// Del removes key, returning whether it existed.
+// Del removes key, returning whether it existed (a dead entry is
+// reclaimed but reported as a miss).
 func (s *Store) Del(key string) (bool, error) {
-	e, ok := s.index[key]
+	e, ok := s.lookup(key)
 	if !ok {
 		s.DeleteMisses++
 		return false, nil
@@ -124,20 +185,107 @@ func (s *Store) Del(key string) (bool, error) {
 	return true, nil
 }
 
+// Apply runs a read-modify-write on key: fn sees a copy of the current
+// value (old == nil, found == false when absent or expired) and decides
+// the outcome. The single-threaded analogue of ShardedStore.Apply — no
+// lock to hold, but the same decision surface so the protocol layer can
+// target either store.
+func (s *Store) Apply(key string, fn func(old []byte, found bool) ApplyOp) error {
+	return s.apply(key, true, fn)
+}
+
+// apply is Apply with the value copy-out optional (Touch never looks at
+// the bytes).
+func (s *Store) apply(key string, needValue bool, fn func(old []byte, found bool) ApplyOp) error {
+	e, found := s.lookup(key)
+	var old []byte
+	if found && needValue {
+		old = make([]byte, e.size)
+		if err := s.session.Read(e.ref, 0, old); err != nil {
+			return err
+		}
+	}
+	op := fn(old, found)
+	// Bump only once the verdict has taken effect (see ShardedStore).
+	switch op.Verdict {
+	case ApplyNone:
+	case ApplyDelete:
+		if found {
+			s.removeEntry(e)
+		}
+	case ApplyTouch:
+		if found {
+			s.setDeadline(e, op.Expire)
+			s.lru.MoveToFront(e.el)
+		}
+	case ApplyStore:
+		expire := op.Expire
+		if op.KeepExpire && found {
+			expire = e.expireAt
+		}
+		if err := s.insert(key, op.Value, expire); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("kv: apply %q: bad verdict %d", key, op.Verdict)
+	}
+	s.rmw.bump(op.Stat)
+	return nil
+}
+
+// CompareAndSwap stores next only if the current value is byte-equal to
+// expected, reporting whether the swap happened and whether the key was
+// present at all.
+func (s *Store) CompareAndSwap(key string, expected, next []byte) (swapped, found bool, err error) {
+	err = s.Apply(key, casApply(expected, next, &swapped, &found))
+	return swapped, found, err
+}
+
+// Touch replaces key's expiry deadline, reporting whether the key was
+// present and alive.
+func (s *Store) Touch(key string, expireAt time.Time) (found bool, err error) {
+	err = s.apply(key, false, touchApply(expireAt, &found))
+	return found, err
+}
+
+// SweepExpired scans up to budget entries and reclaims those past their
+// deadline, returning the number reclaimed. A TTL-free store skips the
+// scan (and the counter) outright.
+func (s *Store) SweepExpired(budget int) int {
+	if s.ttlEntries == 0 {
+		return 0
+	}
+	now := s.now()
+	reclaimed, scanned := 0, 0
+	for _, e := range s.index {
+		if scanned >= budget {
+			break
+		}
+		scanned++
+		if e.expiredAt(now) {
+			s.removeEntry(e)
+			s.rmw.Expired++
+			reclaimed++
+		}
+	}
+	s.rmw.ExpirySweeps++
+	return reclaimed
+}
+
 // Snapshot returns the store's counters and memory metrics.
 func (s *Store) Snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Sets:         s.Sets,
-		Gets:         s.Gets,
-		Hits:         s.Hits,
-		Misses:       s.Misses,
-		DeleteHits:   s.DeleteHits,
-		DeleteMisses: s.DeleteMisses,
-		Evictions:    s.Evictions,
-		Keys:         len(s.index),
-		Used:         s.backend.UsedBytes(),
-		RSS:          s.backend.RSS(),
-	}
+	out := s.rmw
+	out.Sets = s.Sets
+	out.Gets = s.Gets
+	out.Hits = s.Hits
+	out.Misses = s.Misses
+	out.DeleteHits = s.DeleteHits
+	out.DeleteMisses = s.DeleteMisses
+	out.Evictions = s.Evictions
+	out.Keys = len(s.index)
+	out.Used = s.backend.UsedBytes()
+	out.RSS = s.backend.RSS()
+	return out
 }
 
 // removeEntry frees the entry's storage and unlinks it.
@@ -145,6 +293,21 @@ func (s *Store) removeEntry(e *entry) {
 	_ = s.backend.Free(e.ref, e.size)
 	s.lru.Remove(e.el)
 	delete(s.index, e.key)
+	if !e.expireAt.IsZero() {
+		s.ttlEntries--
+	}
+}
+
+// setDeadline rewrites e's deadline, keeping the ttlEntries count exact.
+func (s *Store) setDeadline(e *entry, expireAt time.Time) {
+	if e.expireAt.IsZero() != expireAt.IsZero() {
+		if expireAt.IsZero() {
+			s.ttlEntries--
+		} else {
+			s.ttlEntries++
+		}
+	}
+	e.expireAt = expireAt
 }
 
 // evictLRU removes the least-recently-used entry; returns false when
@@ -160,10 +323,13 @@ func (s *Store) evictLRU() bool {
 }
 
 // Maintain advances the backend's background machinery to simulated time
-// now, returning pause time incurred. Call between operations.
+// now and runs one expiry-sweep increment, returning pause time incurred.
+// Call between operations.
 func (s *Store) Maintain(now time.Duration) time.Duration {
 	s.session.Safepoint()
-	return s.backend.Maintain(now)
+	pause := s.backend.Maintain(now)
+	s.SweepExpired(sweepBudgetPerShard)
+	return pause
 }
 
 // UsedBytes and RSS expose the backend metrics.

@@ -46,8 +46,8 @@ func (cl *Client) line() (string, error) {
 }
 
 // store issues one storage command and decodes the reply.
-func (cl *Client) store(cmd, key string, flags uint32, value []byte) (bool, error) {
-	fmt.Fprintf(cl.w, "%s %s %d 0 %d\r\n", cmd, key, flags, len(value))
+func (cl *Client) store(cmd, key string, flags uint32, exptime int64, value []byte) (bool, error) {
+	fmt.Fprintf(cl.w, "%s %s %d %d %d\r\n", cmd, key, flags, exptime, len(value))
 	cl.w.Write(value)
 	cl.w.WriteString("\r\n")
 	if err := cl.w.Flush(); err != nil {
@@ -66,9 +66,16 @@ func (cl *Client) store(cmd, key string, flags uint32, value []byte) (bool, erro
 	return false, fmt.Errorf("server: %s %q: %s", cmd, key, resp)
 }
 
-// Set stores key=value unconditionally.
+// Set stores key=value unconditionally, with no expiry.
 func (cl *Client) Set(key string, flags uint32, value []byte) error {
-	_, err := cl.store("set", key, flags, value)
+	_, err := cl.store("set", key, flags, 0, value)
+	return err
+}
+
+// SetEx stores key=value with a wire exptime (relative seconds up to 30
+// days, absolute unix timestamp beyond, negative = already expired).
+func (cl *Client) SetEx(key string, flags uint32, exptime int64, value []byte) error {
+	_, err := cl.store("set", key, flags, exptime, value)
 	return err
 }
 
@@ -82,12 +89,120 @@ func (cl *Client) SetNoreply(key string, flags uint32, value []byte) error {
 
 // Add stores only if absent; reports whether it stored.
 func (cl *Client) Add(key string, flags uint32, value []byte) (bool, error) {
-	return cl.store("add", key, flags, value)
+	return cl.store("add", key, flags, 0, value)
 }
 
 // Replace stores only if present; reports whether it stored.
 func (cl *Client) Replace(key string, flags uint32, value []byte) (bool, error) {
-	return cl.store("replace", key, flags, value)
+	return cl.store("replace", key, flags, 0, value)
+}
+
+// Append concatenates value after key's current data; reports whether it
+// stored (false = key absent).
+func (cl *Client) Append(key string, value []byte) (bool, error) {
+	return cl.store("append", key, 0, 0, value)
+}
+
+// Prepend concatenates value before key's current data.
+func (cl *Client) Prepend(key string, value []byte) (bool, error) {
+	return cl.store("prepend", key, 0, 0, value)
+}
+
+// CasStatus is the outcome of a compare-and-swap.
+type CasStatus int
+
+const (
+	// CasStored means the swap won.
+	CasStored CasStatus = iota
+	// CasExists means the unique was stale (someone stored in between).
+	CasExists
+	// CasNotFound means the key vanished.
+	CasNotFound
+)
+
+// Cas stores key=value only if the server-side cas unique still equals
+// cas (from a previous Gets).
+func (cl *Client) Cas(key string, flags uint32, exptime int64, cas uint64, value []byte) (CasStatus, error) {
+	fmt.Fprintf(cl.w, "cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas)
+	cl.w.Write(value)
+	cl.w.WriteString("\r\n")
+	if err := cl.w.Flush(); err != nil {
+		return 0, err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return 0, err
+	}
+	switch resp {
+	case respStored:
+		return CasStored, nil
+	case respExists:
+		return CasExists, nil
+	case respNotFound:
+		return CasNotFound, nil
+	}
+	return 0, fmt.Errorf("server: cas %q: %s", key, resp)
+}
+
+// Incr adds delta to key's numeric value, returning the new value; found
+// is false when the key is absent.
+func (cl *Client) Incr(key string, delta uint64) (val uint64, found bool, err error) {
+	return cl.arith("incr", key, delta)
+}
+
+// Decr subtracts delta (clamping at 0), returning the new value.
+func (cl *Client) Decr(key string, delta uint64) (val uint64, found bool, err error) {
+	return cl.arith("decr", key, delta)
+}
+
+func (cl *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
+	fmt.Fprintf(cl.w, "%s %s %d\r\n", cmd, key, delta)
+	if err := cl.w.Flush(); err != nil {
+		return 0, false, err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return 0, false, err
+	}
+	if resp == respNotFound {
+		return 0, false, nil
+	}
+	v, perr := strconv.ParseUint(resp, 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("server: %s %q: %s", cmd, key, resp)
+	}
+	return v, true, nil
+}
+
+// Touch updates key's expiry without fetching it; reports whether the
+// key was present.
+func (cl *Client) Touch(key string, exptime int64) (bool, error) {
+	fmt.Fprintf(cl.w, "touch %s %d\r\n", key, exptime)
+	if err := cl.w.Flush(); err != nil {
+		return false, err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case respTouched:
+		return true, nil
+	case respNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("server: touch %q: %s", key, resp)
+}
+
+// Gat fetches key and updates its expiry in one command.
+func (cl *Client) Gat(exptime int64, key string) (value []byte, flags uint32, ok bool, err error) {
+	v, f, _, ok, err := cl.retrieve("gat "+strconv.FormatInt(exptime, 10), key)
+	return v, f, ok, err
+}
+
+// Gats is Gat returning the cas unique too.
+func (cl *Client) Gats(exptime int64, key string) (value []byte, flags uint32, cas uint64, ok bool, err error) {
+	return cl.retrieve("gats "+strconv.FormatInt(exptime, 10), key)
 }
 
 // Get fetches one key; ok is false on a miss.

@@ -46,6 +46,22 @@ func startAnchorageServer(t *testing.T, cfg Config) *Server {
 	return startServer(t, backend, cfg)
 }
 
+// forEachBackend runs fn against a fresh server on each of the three
+// network-facing backends, so every transcript is proven
+// backend-independent (the protocol layer must behave identically over
+// raw addresses, meshed pages, and Alaska handles).
+func forEachBackend(t *testing.T, cfg Config, fn func(t *testing.T, srv *Server)) {
+	t.Run("malloc", func(t *testing.T) {
+		fn(t, startServer(t, kv.NewMallocBackend(), cfg))
+	})
+	t.Run("mesh", func(t *testing.T) {
+		fn(t, startServer(t, kv.NewMeshBackend(1), cfg))
+	})
+	t.Run("anchorage", func(t *testing.T) {
+		fn(t, startAnchorageServer(t, cfg))
+	})
+}
+
 // step is one send/expect exchange of a transcript.
 type step struct {
 	send string
@@ -131,6 +147,269 @@ func TestProtocolConformance(t *testing.T) {
 			"SERVER_ERROR object too large for cache\r\nEND\r\n"},
 		{"version\r\n", "VERSION conftest\r\n"},
 	})
+}
+
+// TestCasConformance: compare-and-swap wire semantics. Every storage
+// execution consumes one cas unique from the server-wide counter, so on
+// a fresh server with one connection the uniques in the transcript are
+// exact.
+func TestCasConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set n 1 0 1\r\n5\r\n", "STORED\r\n"},
+			{"gets n\r\n", "VALUE n 1 1 1\r\n5\r\nEND\r\n"},
+			// Matching unique: swap wins, unique advances.
+			{"cas n 1 0 1 1\r\n7\r\n", "STORED\r\n"},
+			{"gets n\r\n", "VALUE n 1 1 2\r\n7\r\nEND\r\n"},
+			// Stale unique: EXISTS, value untouched.
+			{"cas n 1 0 1 1\r\n9\r\n", "EXISTS\r\n"},
+			{"get n\r\n", "VALUE n 1 1\r\n7\r\nEND\r\n"},
+			// Absent key: NOT_FOUND.
+			{"cas miss 0 0 1 5\r\nx\r\n", "NOT_FOUND\r\n"},
+			// noreply cas is silent; the following get observes the swap.
+			{"cas n 0 0 1 2 noreply\r\n8\r\nget n\r\n", "VALUE n 0 1\r\n8\r\nEND\r\n"},
+			// Missing unique token: malformed (no body follows).
+			{"cas n 0 0 1\r\n", "CLIENT_ERROR bad command line format\r\n"},
+		})
+	})
+}
+
+// TestIncrDecrConformance: 64-bit unsigned arithmetic, wrap on incr,
+// clamp-at-zero on decr, and both CLIENT_ERROR variants.
+func TestIncrDecrConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set n 0 0 2\r\n10\r\n", "STORED\r\n"},
+			{"incr n 5\r\n", "15\r\n"},
+			{"decr n 6\r\n", "9\r\n"},
+			// Underflow clamps at 0 (memcached's decr rule).
+			{"decr n 100\r\n", "0\r\n"},
+			// Incr wraps modulo 2^64.
+			{"incr n 18446744073709551615\r\n", "18446744073709551615\r\n"},
+			{"incr n 3\r\n", "2\r\n"},
+			{"incr miss 1\r\n", "NOT_FOUND\r\n"},
+			{"decr miss 1\r\n", "NOT_FOUND\r\n"},
+			// Non-numeric stored value.
+			{"set s 0 0 3\r\nabc\r\n", "STORED\r\n"},
+			{"incr s 1\r\n", "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"},
+			{"decr s 1\r\n", "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"},
+			// Bad delta: a *different* CLIENT_ERROR, and no state change.
+			{"incr n xyz\r\n", "CLIENT_ERROR invalid numeric delta argument\r\n"},
+			{"incr n -5\r\n", "CLIENT_ERROR invalid numeric delta argument\r\n"},
+			// noreply incr is silent.
+			{"incr n 1 noreply\r\nget n\r\n", "VALUE n 0 1\r\n3\r\nEND\r\n"},
+			// Malformed lines.
+			{"incr n\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"incr n 1 2\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			// incr preserves flags and refreshes the cas unique. Counter
+			// audit: 12 uniques consumed above (set/incr/decr hits, misses,
+			// and non-numeric attempts; bad-delta and malformed lines
+			// consume none), so the set below takes 13 and the incr 14.
+			{"set f 42 0 1\r\n7\r\n", "STORED\r\n"},
+			{"incr f 1\r\n", "8\r\n"},
+			{"gets f\r\n", "VALUE f 42 1 14\r\n8\r\nEND\r\n"},
+			// Zero-padded values are numeric (memcached's strtoull), even
+			// past 20 digits; all-digit overflow is not.
+			{"set zp 0 0 22\r\n0000000000000000000005\r\n", "STORED\r\n"},
+			{"incr zp 1\r\n", "6\r\n"},
+			{"set ov 0 0 21\r\n999999999999999999999\r\n", "STORED\r\n"},
+			{"incr ov 1\r\n", "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"},
+		})
+	})
+}
+
+// TestAppendPrependConformance: concatenation keeps the original flags
+// and issues a fresh cas unique; the zero-length-body battery proves the
+// flags+cas header survives empty data bodies in both directions.
+func TestAppendPrependConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set s 9 0 3\r\nabc\r\n", "STORED\r\n"},
+			{"append s 0 0 2\r\nde\r\n", "STORED\r\n"},
+			// Flags stay 9: append's flags argument is ignored.
+			{"get s\r\n", "VALUE s 9 5\r\nabcde\r\nEND\r\n"},
+			{"prepend s 7 100 2\r\nZY\r\n", "STORED\r\n"},
+			{"get s\r\n", "VALUE s 9 7\r\nZYabcde\r\nEND\r\n"},
+			// The prepend was the 3rd unique consumed.
+			{"gets s\r\n", "VALUE s 9 7 3\r\nZYabcde\r\nEND\r\n"},
+			{"append miss 0 0 1\r\nx\r\n", "NOT_STORED\r\n"},
+			{"prepend miss 0 0 1\r\nx\r\n", "NOT_STORED\r\n"},
+			// --- zero-length bodies ---
+			// A set with bytes=0 stores exactly the 12-byte header; flags
+			// and cas must round-trip unfabricated.
+			{"set z 5 0 0\r\n\r\n", "STORED\r\n"},
+			{"get z\r\n", "VALUE z 5 0\r\n\r\nEND\r\n"},
+			{"gets z\r\n", "VALUE z 5 0 6\r\n\r\nEND\r\n"},
+			// Append onto an empty body: data appears, flags still 5.
+			{"append z 0 0 1\r\nA\r\n", "STORED\r\n"},
+			{"get z\r\n", "VALUE z 5 1\r\nA\r\nEND\r\n"},
+			// Zero-length append/prepend onto a non-empty body: no-ops
+			// that still refresh the unique.
+			{"append z 0 0 0\r\n\r\n", "STORED\r\n"},
+			{"gets z\r\n", "VALUE z 5 1 8\r\nA\r\nEND\r\n"},
+			{"prepend z 0 0 0\r\n\r\n", "STORED\r\n"},
+			{"get z\r\n", "VALUE z 5 1\r\nA\r\nEND\r\n"},
+			// An empty body is not a number.
+			{"set e 0 0 0\r\n\r\n", "STORED\r\n"},
+			{"incr e 1\r\n", "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"},
+		})
+	})
+}
+
+// TestAppendSizeCap: each append body may fit individually, but the
+// *merged* value must still respect MaxValueSize — otherwise repeated
+// appends grow an item without bound.
+func TestAppendSizeCap(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", MaxValueSize: 16}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set s 0 0 10\r\n0123456789\r\n", "STORED\r\n"},
+			{"append s 0 0 6\r\nabcdef\r\n", "STORED\r\n"},
+			// 16 + 1 > cap: rejected, value untouched.
+			{"append s 0 0 1\r\nX\r\n", "SERVER_ERROR object too large for cache\r\n"},
+			{"prepend s 0 0 1\r\nX\r\n", "SERVER_ERROR object too large for cache\r\n"},
+			{"get s\r\n", "VALUE s 0 16\r\n0123456789abcdef\r\nEND\r\n"},
+		})
+	})
+}
+
+// TestTouchGatConformance: deadline updates with and without retrieval.
+// Only instant transitions (negative exptime = immediately expired) are
+// asserted here; elapsed-time behavior is covered deterministically by
+// the mock-clock tests in ttl_test.go.
+func TestTouchGatConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"touch miss 100\r\n", "NOT_FOUND\r\n"},
+			{"set k 3 0 2\r\nhi\r\n", "STORED\r\n"},
+			{"touch k 100\r\n", "TOUCHED\r\n"},
+			{"get k\r\n", "VALUE k 3 2\r\nhi\r\nEND\r\n"},
+			// touch 0 clears the deadline; touch -1 kills instantly.
+			{"touch k 0\r\n", "TOUCHED\r\n"},
+			{"touch k -1\r\n", "TOUCHED\r\n"},
+			{"get k\r\n", "END\r\n"},
+			{"set g1 2 0 2\r\naa\r\n", "STORED\r\n"},
+			{"set g2 0 0 2\r\nbb\r\n", "STORED\r\n"},
+			// gat: multi-key, misses omitted, deadline updated per hit.
+			{"gat 100 g1 miss g2\r\n", "VALUE g1 2 2\r\naa\r\nVALUE g2 0 2\r\nbb\r\nEND\r\n"},
+			// gats adds the unique (g1 was the 2nd consumed).
+			{"gats 100 g1\r\n", "VALUE g1 2 2 2\r\naa\r\nEND\r\n"},
+			// gat -1 returns the value one last time, then it is gone.
+			{"gat -1 g1\r\n", "VALUE g1 2 2\r\naa\r\nEND\r\n"},
+			{"get g1\r\n", "END\r\n"},
+			// touch noreply is silent.
+			{"set k2 0 0 1\r\nx\r\n", "STORED\r\n"},
+			{"touch k2 -1 noreply\r\nget k2\r\n", "END\r\n"},
+			// Malformed lines.
+			{"touch k\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"touch k abc\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"gat 100\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"gat abc k\r\n", "CLIENT_ERROR bad command line format\r\n"},
+		})
+	})
+}
+
+// TestExptimeConformance: the wire-format exptime rules that are
+// deterministic under a real clock — negative means already dead,
+// >30 days means an absolute unix timestamp, and dead entries are
+// invisible to replace/delete but fair game for add.
+func TestExptimeConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			// Negative exptime: stored, but born dead.
+			{"set neg 0 -1 2\r\nxx\r\n", "STORED\r\n"},
+			{"get neg\r\n", "END\r\n"},
+			// add succeeds over an expired key...
+			{"add neg 4 0 2\r\nyy\r\n", "STORED\r\n"},
+			{"get neg\r\n", "VALUE neg 4 2\r\nyy\r\nEND\r\n"},
+			// ...but replace does not revive one, and delete misses it.
+			{"set dead 0 -1 1\r\nx\r\n", "STORED\r\n"},
+			{"replace dead 0 0 1\r\ny\r\n", "NOT_STORED\r\n"},
+			{"delete dead\r\n", "NOT_FOUND\r\n"},
+			// 2592001 > 30 days: an absolute unix timestamp in 1970.
+			{"set old 0 2592001 1\r\nx\r\n", "STORED\r\n"},
+			{"get old\r\n", "END\r\n"},
+			// Exactly 30 days is still relative: alive now.
+			{"set fut 0 2592000 1\r\nx\r\n", "STORED\r\n"},
+			{"get fut\r\n", "VALUE fut 0 1\r\nx\r\nEND\r\n"},
+			// A far-future absolute timestamp (2100-01-01): alive.
+			{"set fut2 0 4102444800 1\r\ny\r\n", "STORED\r\n"},
+			{"get fut2\r\n", "VALUE fut2 0 1\r\ny\r\nEND\r\n"},
+			// Exptime overflowing int64: malformed line; the body is then
+			// parsed as a (garbage) command.
+			{"set k 0 99999999999999999999 1\r\nx\r\n", "CLIENT_ERROR bad command line format\r\nERROR\r\n"},
+		})
+	})
+}
+
+// TestRMWStatsSurface checks the new stats counters through a full
+// cas/incr/decr/touch/expiry flow.
+func TestRMWStatsSurface(t *testing.T) {
+	srv := startAnchorageServer(t, Config{Addr: "127.0.0.1:0"})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Set("n", 0, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, casID, _, err := cl.Gets("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := cl.Cas("n", 0, 0, casID, []byte("2")); err != nil || st != CasStored {
+		t.Fatalf("cas: %v %v", st, err)
+	}
+	if st, err := cl.Cas("n", 0, 0, casID, []byte("3")); err != nil || st != CasExists {
+		t.Fatalf("stale cas: %v %v", st, err)
+	}
+	if st, err := cl.Cas("miss", 0, 0, 1, []byte("x")); err != nil || st != CasNotFound {
+		t.Fatalf("cas miss: %v %v", st, err)
+	}
+	if v, found, err := cl.Incr("n", 5); err != nil || !found || v != 7 {
+		t.Fatalf("incr: %d %v %v", v, found, err)
+	}
+	if _, found, err := cl.Incr("miss", 1); err != nil || found {
+		t.Fatalf("incr miss: %v %v", found, err)
+	}
+	if v, found, err := cl.Decr("n", 2); err != nil || !found || v != 5 {
+		t.Fatalf("decr: %d %v %v", v, found, err)
+	}
+	if ok, err := cl.Touch("n", 100); err != nil || !ok {
+		t.Fatalf("touch: %v %v", ok, err)
+	}
+	if ok, err := cl.Touch("miss", 100); err != nil || ok {
+		t.Fatalf("touch miss: %v %v", ok, err)
+	}
+	if err := cl.SetEx("dying", 0, -1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := cl.Get("dying"); err != nil || ok {
+		t.Fatalf("expired get: ok=%v err=%v", ok, err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{
+		"cas_hits":     "1",
+		"cas_badval":   "1",
+		"cas_misses":   "1",
+		"incr_hits":    "1",
+		"incr_misses":  "1",
+		"decr_hits":    "1",
+		"decr_misses":  "0",
+		"touch_hits":   "1",
+		"touch_misses": "1",
+		"expired":      "1",
+	} {
+		if st[k] != want {
+			t.Errorf("stats[%s] = %q, want %q", k, st[k], want)
+		}
+	}
+	if _, ok := st["expiry_sweeps"]; !ok {
+		t.Error("stats missing expiry_sweeps")
+	}
 }
 
 // TestProtocolPipelined sends a burst of commands in a single write and

@@ -1,10 +1,11 @@
 // Package server implements alaskad: a network-facing memcached-protocol
 // server over the Alaska heap. It speaks the memcached ASCII protocol
-// (get/gets/set/add/replace/delete/stats/version/quit) on TCP, runs each
-// connection on a worker goroutine that owns an rt.Thread-backed
-// kv.Session, and — on the Anchorage backend — defragments the heap under
-// live traffic: a background maintenance goroutine drives the §4.3
-// control loop (stop-the-world barrier passes) and the §7 pause-free
+// (get/gets/gat/gats, set/add/replace/cas/append/prepend, incr/decr,
+// delete/touch, stats/version/quit) on TCP, runs each connection on a
+// worker goroutine that owns an rt.Thread-backed kv.Session, and — on the
+// Anchorage backend — defragments the heap under live traffic: a
+// background maintenance goroutine drives the §4.3 control loop
+// (stop-the-world barrier passes) and the §7 pause-free
 // ConcurrentDefragPass off live RSS/used-bytes while connections keep
 // serving requests between safepoint polls.
 package server
@@ -14,18 +15,23 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Protocol response lines (memcached ASCII, without the CRLF).
 const (
 	respStored      = "STORED"
 	respNotStored   = "NOT_STORED"
+	respExists      = "EXISTS"
 	respDeleted     = "DELETED"
 	respNotFound    = "NOT_FOUND"
+	respTouched     = "TOUCHED"
 	respEnd         = "END"
 	respError       = "ERROR"
 	respBadFormat   = "CLIENT_ERROR bad command line format"
 	respBadChunk    = "CLIENT_ERROR bad data chunk"
+	respNonNumeric  = "CLIENT_ERROR cannot increment or decrement non-numeric value"
+	respBadDelta    = "CLIENT_ERROR invalid numeric delta argument"
 	respTooLarge    = "SERVER_ERROR object too large for cache"
 	respOutOfMemory = "SERVER_ERROR out of memory storing object"
 )
@@ -38,21 +44,34 @@ const (
 	// the metadata inside the stored value keeps the kv layer generic and
 	// makes flags+cas+data one atomic unit under the shard lock.
 	valueHeaderLen = 12
+	// maxRelativeExptime is memcached's 30-day threshold: wire exptimes
+	// up to it are relative seconds-from-now; anything larger is an
+	// absolute unix timestamp.
+	maxRelativeExptime = 60 * 60 * 24 * 30
+	// maxNumericLen is the longest decimal a uint64 can need (20
+	// digits); anything longer after zero-stripping overflows, which
+	// memcached's strtoull reports as non-numeric (ERANGE).
+	maxNumericLen = 20
 )
 
-// storageArgs are the parsed arguments of set/add/replace:
-// <key> <flags> <exptime> <bytes> [noreply].
+// storageArgs are the parsed arguments of set/add/replace/cas and
+// append/prepend: <key> <flags> <exptime> <bytes> [<cas unique>] [noreply].
 type storageArgs struct {
-	key     string
-	flags   uint32
-	exptime int64
-	nbytes  int
-	noreply bool
+	key       string
+	flags     uint32
+	exptime   int64
+	nbytes    int
+	casUnique uint64 // cas only
+	noreply   bool
 }
 
 // errBadLine marks a malformed command line (CLIENT_ERROR bad command
-// line format).
-var errBadLine = fmt.Errorf("bad command line format")
+// line format); errBadDelta marks an incr/decr delta that is not a
+// 64-bit unsigned decimal (a distinct CLIENT_ERROR in memcached).
+var (
+	errBadLine  = fmt.Errorf("bad command line format")
+	errBadDelta = fmt.Errorf("invalid numeric delta argument")
+)
 
 // validKey reports whether key is a legal memcached key: 1..250 bytes,
 // no whitespace or control characters.
@@ -68,14 +87,19 @@ func validKey(key string) bool {
 	return true
 }
 
-// parseStorage parses the arguments of a storage command.
-func parseStorage(args []string) (storageArgs, error) {
+// parseStorage parses the arguments of a storage command; withCAS adds
+// the trailing <cas unique> of `cas`.
+func parseStorage(args []string, withCAS bool) (storageArgs, error) {
 	var sa storageArgs
-	if len(args) == 5 && args[4] == "noreply" {
-		sa.noreply = true
-		args = args[:4]
+	want := 4
+	if withCAS {
+		want = 5
 	}
-	if len(args) != 4 {
+	if len(args) == want+1 && args[want] == "noreply" {
+		sa.noreply = true
+		args = args[:want]
+	}
+	if len(args) != want {
 		return sa, errBadLine
 	}
 	sa.key = args[0]
@@ -87,8 +111,6 @@ func parseStorage(args []string) (storageArgs, error) {
 		return sa, errBadLine
 	}
 	sa.flags = uint32(flags)
-	// Expiration is accepted for wire compatibility but not yet enforced
-	// (see ROADMAP: TTL/expiry).
 	sa.exptime, err = strconv.ParseInt(args[2], 10, 64)
 	if err != nil {
 		return sa, errBadLine
@@ -98,6 +120,12 @@ func parseStorage(args []string) (storageArgs, error) {
 		return sa, errBadLine
 	}
 	sa.nbytes = int(n)
+	if withCAS {
+		sa.casUnique, err = strconv.ParseUint(args[4], 10, 64)
+		if err != nil {
+			return sa, errBadLine
+		}
+	}
 	return sa, nil
 }
 
@@ -113,7 +141,108 @@ func parseDelete(args []string) (key string, noreply bool, err error) {
 	return args[0], noreply, nil
 }
 
-// encodeValue packs flags+cas+data into the stored representation.
+// parseIncrDecr parses `incr|decr <key> <delta> [noreply]`. A structurally
+// sound line whose delta is not a uint64 decimal yields errBadDelta — a
+// different CLIENT_ERROR than a malformed line, matching memcached.
+func parseIncrDecr(args []string) (key string, delta uint64, noreply bool, err error) {
+	if len(args) == 3 && args[2] == "noreply" {
+		noreply = true
+		args = args[:2]
+	}
+	if len(args) != 2 || !validKey(args[0]) {
+		return "", 0, false, errBadLine
+	}
+	delta, derr := strconv.ParseUint(args[1], 10, 64)
+	if derr != nil {
+		return args[0], 0, noreply, errBadDelta
+	}
+	return args[0], delta, noreply, nil
+}
+
+// parseTouch parses `touch <key> <exptime> [noreply]`.
+func parseTouch(args []string) (key string, exptime int64, noreply bool, err error) {
+	if len(args) == 3 && args[2] == "noreply" {
+		noreply = true
+		args = args[:2]
+	}
+	if len(args) != 2 || !validKey(args[0]) {
+		return "", 0, false, errBadLine
+	}
+	exptime, err = strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return "", 0, false, errBadLine
+	}
+	return args[0], exptime, noreply, nil
+}
+
+// parseGat parses `gat|gats <exptime> <key>+`.
+func parseGat(args []string) (exptime int64, keys []string, err error) {
+	if len(args) < 2 {
+		return 0, nil, errBadLine
+	}
+	exptime, err = strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return 0, nil, errBadLine
+	}
+	keys = args[1:]
+	for _, k := range keys {
+		if !validKey(k) {
+			return 0, nil, errBadLine
+		}
+	}
+	return exptime, keys, nil
+}
+
+// deadlineFor converts a wire exptime into an absolute deadline under
+// memcached's rules: 0 never expires; a negative value is immediately
+// expired; values up to 30 days are seconds relative to now; anything
+// larger is an absolute unix timestamp (which may itself be in the past).
+func deadlineFor(exptime int64, now time.Time) time.Time {
+	switch {
+	case exptime == 0:
+		return time.Time{}
+	case exptime < 0:
+		// Any deadline at-or-before now reads as already expired; using
+		// now itself keeps this exact under a frozen test clock.
+		return now
+	case exptime <= maxRelativeExptime:
+		return now.Add(time.Duration(exptime) * time.Second)
+	default:
+		return time.Unix(exptime, 0)
+	}
+}
+
+// parseNumericValue parses a stored value as the 64-bit unsigned decimal
+// incr/decr operate on: plain ASCII digits, no sign, no space padding
+// (we never space-pad, unlike some memcached versions). Leading zeros
+// are accepted, like memcached's strtoull; a value that overflows a
+// uint64 after zero-stripping is non-numeric.
+func parseNumericValue(data []byte) (uint64, bool) {
+	if len(data) == 0 {
+		return 0, false
+	}
+	for _, c := range data {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	trimmed := data
+	for len(trimmed) > 1 && trimmed[0] == '0' {
+		trimmed = trimmed[1:]
+	}
+	if len(trimmed) > maxNumericLen {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(string(trimmed), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// encodeValue packs flags+cas+data into the stored representation. A
+// zero-length data body packs to exactly the 12-byte header and must
+// round-trip back to empty data with the same flags and cas.
 func encodeValue(flags uint32, cas uint64, data []byte) []byte {
 	buf := make([]byte, valueHeaderLen+len(data))
 	binary.BigEndian.PutUint32(buf[0:4], flags)

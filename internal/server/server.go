@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,11 @@ type Config struct {
 	DefragBudget uint64
 	// Version is reported by the `version` command and `stats`.
 	Version string
+	// Clock supplies the wall-clock time used for TTL decisions — exptime
+	// normalization here and expiry checks in the store (the server
+	// installs it as the store's Clock). Default time.Now; swap in a fake
+	// to make expiry deterministically testable.
+	Clock func() time.Time
 }
 
 func (c *Config) withDefaults() Config {
@@ -51,7 +57,10 @@ func (c *Config) withDefaults() Config {
 		out.DefragBudget = 1 << 20
 	}
 	if out.Version == "" {
-		out.Version = "0.2.0-alaska"
+		out.Version = "0.3.0-alaska"
+	}
+	if out.Clock == nil {
+		out.Clock = time.Now
 	}
 	return out
 }
@@ -99,6 +108,9 @@ func New(store *kv.ShardedStore, cfg Config) *Server {
 	if ab, ok := store.Backend().(*kv.AnchorageBackend); ok {
 		s.anch = ab
 	}
+	// One clock for exptime normalization and the store's expiry checks:
+	// a value stored "for 5 seconds" dies exactly when both agree it does.
+	store.Clock = s.cfg.Clock
 	return s
 }
 
@@ -203,7 +215,11 @@ func (s *Server) maintainLoop() {
 		case <-s.quit:
 			return
 		case <-ticker.C:
-			if pause := s.store.Backend().Maintain(time.Since(s.start)); pause > 0 {
+			// Store-level Maintain: the backend's control loop plus one
+			// expiry-sweep increment, so dead values release heap (and
+			// un-hostage their sub-heaps for truncation) even if never
+			// touched again.
+			if pause := s.store.Maintain(time.Since(s.start)); pause > 0 {
 				s.barrierPauseNs.Add(int64(pause))
 			}
 			if s.anch != nil {
@@ -393,10 +409,16 @@ func (h *connHandler) dispatch(line string) (quit bool, err error) {
 	switch cmd {
 	case "get", "gets":
 		return false, h.doGet(args, cmd == "gets")
-	case "set", "add", "replace":
+	case "gat", "gats":
+		return false, h.doGat(args, cmd == "gats")
+	case "set", "add", "replace", "cas", "append", "prepend":
 		return false, h.doStore(cmd, args)
+	case "incr", "decr":
+		return false, h.doIncrDecr(args, cmd == "incr")
 	case "delete":
 		return false, h.doDelete(args)
+	case "touch":
+		return false, h.doTouch(args)
 	case "stats":
 		return false, h.doStats()
 	case "version":
@@ -406,6 +428,31 @@ func (h *connHandler) dispatch(line string) (quit bool, err error) {
 	default:
 		return false, h.replyError(respError)
 	}
+}
+
+// emitValue writes one VALUE line (+ data block) for a stored
+// representation, decoding the flags/cas header. ok is false when the
+// header failed to decode: the SERVER_ERROR line has already been sent
+// and the caller must abort the retrieval (no further VALUEs, no END) —
+// interleaving an error line between VALUE blocks would be unframeable.
+func (h *connHandler) emitValue(key string, stored []byte, withCAS bool) (ok bool, err error) {
+	flags, cas, data, derr := decodeValue(stored)
+	if derr != nil {
+		return false, h.replyError("SERVER_ERROR " + derr.Error())
+	}
+	var hdr string
+	if withCAS {
+		hdr = fmt.Sprintf("VALUE %s %d %d %d", key, flags, len(data), cas)
+	} else {
+		hdr = fmt.Sprintf("VALUE %s %d %d", key, flags, len(data))
+	}
+	if err := h.reply(hdr); err != nil {
+		return false, err
+	}
+	if err := h.writeFull(data); err != nil {
+		return false, err
+	}
+	return true, h.writeFull([]byte(crlf))
 }
 
 func (h *connHandler) doGet(keys []string, withCAS bool) error {
@@ -423,23 +470,32 @@ func (h *connHandler) doGet(keys []string, withCAS bool) error {
 		if stored == nil {
 			continue // miss: omitted from the response
 		}
-		flags, cas, data, err := decodeValue(stored)
+		ok, err := h.emitValue(key, stored, withCAS)
+		if err != nil || !ok {
+			return err
+		}
+	}
+	return h.reply(respEnd)
+}
+
+// doGat is get-and-touch: retrieval that also moves each hit key's expiry
+// deadline, as one critical section per key.
+func (h *connHandler) doGat(args []string, withCAS bool) error {
+	exptime, keys, perr := parseGat(args)
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	deadline := deadlineFor(exptime, h.srv.cfg.Clock())
+	for _, key := range keys {
+		stored, err := h.srv.store.GetAndTouch(h.sess, key, deadline)
 		if err != nil {
 			return h.replyError("SERVER_ERROR " + err.Error())
 		}
-		var hdr string
-		if withCAS {
-			hdr = fmt.Sprintf("VALUE %s %d %d %d", key, flags, len(data), cas)
-		} else {
-			hdr = fmt.Sprintf("VALUE %s %d %d", key, flags, len(data))
+		if stored == nil {
+			continue
 		}
-		if err := h.reply(hdr); err != nil {
-			return err
-		}
-		if err := h.writeFull(data); err != nil {
-			return err
-		}
-		if err := h.writeFull([]byte(crlf)); err != nil {
+		ok, err := h.emitValue(key, stored, withCAS)
+		if err != nil || !ok {
 			return err
 		}
 	}
@@ -447,7 +503,7 @@ func (h *connHandler) doGet(keys []string, withCAS bool) error {
 }
 
 func (h *connHandler) doStore(cmd string, args []string) error {
-	sa, perr := parseStorage(args)
+	sa, perr := parseStorage(args, cmd == "cas")
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}
@@ -484,30 +540,219 @@ func (h *connHandler) doStore(cmd string, args []string) error {
 		}
 		return nil
 	}
-	mode := kv.SetAlways
-	switch cmd {
-	case "add":
-		mode = kv.SetAdd
-	case "replace":
-		mode = kv.SetReplace
-	}
-	cas := h.srv.casCounter.Add(1)
-	storedVal := encodeValue(sa.flags, cas, data)
-	stored, err := h.srv.store.SetWith(h.sess, sa.key, storedVal, mode)
+	resp, errLine, err := h.executeStore(cmd, sa, data)
 	if err != nil {
 		if sa.noreply {
 			h.srv.protocolErrors.Add(1)
 			return nil
 		}
-		return h.replyError(respOutOfMemory)
+		// Plain stores fail on allocation (memcached's canonical line);
+		// an RMW failure may equally be a read fault mid-Apply, so
+		// surface the real error there.
+		if cmd == "set" || cmd == "add" || cmd == "replace" {
+			return h.replyError(respOutOfMemory)
+		}
+		return h.replyError("SERVER_ERROR " + err.Error())
 	}
 	if sa.noreply {
+		if errLine {
+			h.srv.protocolErrors.Add(1)
+		}
 		return nil
 	}
-	if stored {
-		return h.reply(respStored)
+	if errLine {
+		return h.replyError(resp)
 	}
-	return h.reply(respNotStored)
+	return h.reply(resp)
+}
+
+// executeStore runs a parsed storage command against the store and
+// returns the response line; errLine marks an in-band error reply
+// (oversized concatenation, header decode failure) that must be counted
+// in protocol_errors. Every variant consumes a fresh cas unique: any
+// successful store makes previously handed-out uniques stale, which is
+// exactly the cas contract.
+func (h *connHandler) executeStore(cmd string, sa storageArgs, data []byte) (resp string, errLine bool, err error) {
+	newCas := h.srv.casCounter.Add(1)
+	deadline := deadlineFor(sa.exptime, h.srv.cfg.Clock())
+	switch cmd {
+	case "set", "add", "replace":
+		mode := kv.SetAlways
+		switch cmd {
+		case "add":
+			mode = kv.SetAdd
+		case "replace":
+			mode = kv.SetReplace
+		}
+		stored, serr := h.srv.store.SetEx(h.sess, sa.key, encodeValue(sa.flags, newCas, data), mode, deadline)
+		if serr != nil {
+			return "", false, serr
+		}
+		if stored {
+			return respStored, false, nil
+		}
+		return respNotStored, false, nil
+	case "cas":
+		// Compare the stored unique and swap under the shard lock: the
+		// read, the comparison, and the write-back are one critical
+		// section, so exactly one of N racing cas commands with the same
+		// unique can win.
+		resp = respStored
+		err = h.srv.store.Apply(h.sess, sa.key, func(old []byte, found bool) kv.ApplyOp {
+			if !found {
+				resp = respNotFound
+				return kv.ApplyOp{Stat: kv.StatCasMiss}
+			}
+			_, oldCas, _, derr := decodeValue(old)
+			if derr != nil {
+				resp, errLine = "SERVER_ERROR "+derr.Error(), true
+				return kv.ApplyOp{}
+			}
+			if oldCas != sa.casUnique {
+				resp = respExists
+				return kv.ApplyOp{Stat: kv.StatCasBadval}
+			}
+			return kv.ApplyOp{
+				Verdict: kv.ApplyStore,
+				Value:   encodeValue(sa.flags, newCas, data),
+				Expire:  deadline,
+				Stat:    kv.StatCasHit,
+			}
+		})
+		return resp, errLine, err
+	case "append", "prepend":
+		// Concatenation keeps the original flags and TTL (memcached
+		// ignores the flags/exptime arguments of append/prepend) but
+		// issues a new cas unique.
+		resp = respStored
+		err = h.srv.store.Apply(h.sess, sa.key, func(old []byte, found bool) kv.ApplyOp {
+			if !found {
+				resp = respNotStored
+				return kv.ApplyOp{}
+			}
+			oldFlags, _, oldData, derr := decodeValue(old)
+			if derr != nil {
+				resp, errLine = "SERVER_ERROR "+derr.Error(), true
+				return kv.ApplyOp{}
+			}
+			// The merged body must respect the item size cap too: each
+			// append individually fitting must not let an item grow
+			// without bound (memcached rejects the concatenation the
+			// same way).
+			if len(oldData)+len(data) > h.srv.cfg.MaxValueSize {
+				resp, errLine = respTooLarge, true
+				return kv.ApplyOp{}
+			}
+			merged := make([]byte, 0, len(oldData)+len(data))
+			if cmd == "append" {
+				merged = append(append(merged, oldData...), data...)
+			} else {
+				merged = append(append(merged, data...), oldData...)
+			}
+			return kv.ApplyOp{
+				Verdict:    kv.ApplyStore,
+				Value:      encodeValue(oldFlags, newCas, merged),
+				KeepExpire: true,
+			}
+		})
+		return resp, errLine, err
+	}
+	return "", false, fmt.Errorf("server: unreachable storage command %q", cmd)
+}
+
+// doIncrDecr implements incr/decr: 64-bit unsigned arithmetic on the
+// decimal value, read-modify-write as one critical section. incr wraps at
+// 2^64; decr clamps at 0 (memcached's underflow rule). The new value
+// keeps the item's flags and TTL but gets a fresh cas unique.
+func (h *connHandler) doIncrDecr(args []string, incr bool) error {
+	key, delta, noreply, perr := parseIncrDecr(args)
+	if perr == errBadDelta {
+		if noreply {
+			h.srv.protocolErrors.Add(1)
+			return nil
+		}
+		return h.replyError(respBadDelta)
+	}
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	newCas := h.srv.casCounter.Add(1)
+	hitStat, missStat := kv.StatIncrHit, kv.StatIncrMiss
+	if !incr {
+		hitStat, missStat = kv.StatDecrHit, kv.StatDecrMiss
+	}
+	var resp string
+	errReply := false
+	err := h.srv.store.Apply(h.sess, key, func(old []byte, found bool) kv.ApplyOp {
+		if !found {
+			resp = respNotFound
+			return kv.ApplyOp{Stat: missStat}
+		}
+		flags, _, data, derr := decodeValue(old)
+		if derr != nil {
+			resp, errReply = "SERVER_ERROR "+derr.Error(), true
+			return kv.ApplyOp{}
+		}
+		val, ok := parseNumericValue(data)
+		if !ok {
+			resp, errReply = respNonNumeric, true
+			return kv.ApplyOp{}
+		}
+		var next uint64
+		if incr {
+			next = val + delta // wraps modulo 2^64, like memcached
+		} else if delta > val {
+			next = 0 // underflow clamps
+		} else {
+			next = val - delta
+		}
+		resp = strconv.FormatUint(next, 10)
+		return kv.ApplyOp{
+			Verdict:    kv.ApplyStore,
+			Value:      encodeValue(flags, newCas, []byte(resp)),
+			KeepExpire: true,
+			Stat:       hitStat,
+		}
+	})
+	if err != nil {
+		// An Apply failure here is a read or write-back fault, not
+		// necessarily memory pressure: surface the real error.
+		if noreply {
+			h.srv.protocolErrors.Add(1)
+			return nil
+		}
+		return h.replyError("SERVER_ERROR " + err.Error())
+	}
+	if noreply {
+		if errReply {
+			h.srv.protocolErrors.Add(1)
+		}
+		return nil
+	}
+	if errReply {
+		return h.replyError(resp)
+	}
+	return h.reply(resp)
+}
+
+// doTouch updates a key's expiry deadline without touching its value.
+func (h *connHandler) doTouch(args []string) error {
+	key, exptime, noreply, perr := parseTouch(args)
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	deadline := deadlineFor(exptime, h.srv.cfg.Clock())
+	found, err := h.srv.store.Touch(h.sess, key, deadline)
+	if err != nil {
+		return h.replyError("SERVER_ERROR " + err.Error())
+	}
+	if noreply {
+		return nil
+	}
+	if found {
+		return h.reply(respTouched)
+	}
+	return h.reply(respNotFound)
 }
 
 func (h *connHandler) doDelete(args []string) error {
@@ -562,6 +807,17 @@ func (s *Server) statLines() []statLine {
 		{"get_misses", fmt.Sprintf("%d", snap.Misses)},
 		{"delete_hits", fmt.Sprintf("%d", snap.DeleteHits)},
 		{"delete_misses", fmt.Sprintf("%d", snap.DeleteMisses)},
+		{"cas_hits", fmt.Sprintf("%d", snap.CasHits)},
+		{"cas_badval", fmt.Sprintf("%d", snap.CasBadval)},
+		{"cas_misses", fmt.Sprintf("%d", snap.CasMisses)},
+		{"incr_hits", fmt.Sprintf("%d", snap.IncrHits)},
+		{"incr_misses", fmt.Sprintf("%d", snap.IncrMisses)},
+		{"decr_hits", fmt.Sprintf("%d", snap.DecrHits)},
+		{"decr_misses", fmt.Sprintf("%d", snap.DecrMisses)},
+		{"touch_hits", fmt.Sprintf("%d", snap.TouchHits)},
+		{"touch_misses", fmt.Sprintf("%d", snap.TouchMisses)},
+		{"expired", fmt.Sprintf("%d", snap.Expired)},
+		{"expiry_sweeps", fmt.Sprintf("%d", snap.ExpirySweeps)},
 		{"evictions", fmt.Sprintf("%d", snap.Evictions)},
 		{"curr_items", fmt.Sprintf("%d", snap.Keys)},
 		{"bytes", fmt.Sprintf("%d", snap.Used)},

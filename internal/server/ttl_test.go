@@ -1,0 +1,204 @@
+package server
+
+// Deterministic TTL tests: the server is built with a manual clock
+// (Config.Clock threads it through exptime normalization AND the
+// store's expiry checks), so elapsed-time behavior — relative exptimes,
+// absolute unix timestamps, touch extensions, the background sweep — is
+// asserted exactly, with no sleeps standing in for time.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a settable wall clock safe for use from the connection
+// goroutines and the maintenance loop.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	// A fixed modern epoch, far above the 30-day relative/absolute
+	// threshold, so absolute-exptime arithmetic is realistic.
+	return &testClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func (c *testClock) Unix() int64 { return c.Now().Unix() }
+
+func TestTTLLifecycleMockClock(t *testing.T) {
+	clk := newTestClock()
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", Clock: clk.Now}, func(t *testing.T, srv *Server) {
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.SetEx("k", 1, 5, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok, err := cl.Get("k"); err != nil || !ok {
+			t.Fatalf("get before deadline: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(4 * time.Second)
+		if _, _, ok, err := cl.Get("k"); err != nil || !ok {
+			t.Fatalf("get at +4s of a 5s TTL: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(time.Second) // exactly the deadline: dead
+		if _, _, ok, err := cl.Get("k"); err != nil || ok {
+			t.Fatalf("get at deadline: ok=%v err=%v, want miss", ok, err)
+		}
+		st, err := cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exp, _ := strconv.Atoi(st["expired"]); exp < 1 {
+			t.Errorf("expired = %s, want >= 1", st["expired"])
+		}
+	})
+}
+
+func TestAbsoluteExptimeMockClock(t *testing.T) {
+	clk := newTestClock()
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", Clock: clk.Now}, func(t *testing.T, srv *Server) {
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		// An absolute unix deadline 100 s out (far above the 30-day
+		// threshold, so it is not read as relative).
+		deadline := clk.Unix() + 100
+		if err := cl.SetEx("abs", 0, deadline, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(99 * time.Second)
+		if _, _, ok, err := cl.Get("abs"); err != nil || !ok {
+			t.Fatalf("get before absolute deadline: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(time.Second)
+		if _, _, ok, err := cl.Get("abs"); err != nil || ok {
+			t.Fatalf("get at absolute deadline: ok=%v err=%v, want miss", ok, err)
+		}
+		// An absolute deadline already in the past: born dead.
+		if err := cl.SetEx("past", 0, clk.Unix()-10, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok, err := cl.Get("past"); err != nil || ok {
+			t.Fatalf("get of past-deadline value: ok=%v err=%v, want miss", ok, err)
+		}
+	})
+}
+
+func TestTouchAndGatExtendMockClock(t *testing.T) {
+	clk := newTestClock()
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", Clock: clk.Now}, func(t *testing.T, srv *Server) {
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		// touch rewrites the deadline: 5s TTL, +3s, touch 10 → dies at +13.
+		if err := cl.SetEx("k", 0, 5, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(3 * time.Second)
+		if ok, err := cl.Touch("k", 10); err != nil || !ok {
+			t.Fatalf("touch: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(7 * time.Second) // +10: past the original deadline
+		if _, _, ok, err := cl.Get("k"); err != nil || !ok {
+			t.Fatalf("touched key died on the old deadline: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(3 * time.Second) // +13: past the touched deadline
+		if _, _, ok, err := cl.Get("k"); err != nil || ok {
+			t.Fatalf("touched key outlived the new deadline: ok=%v err=%v", ok, err)
+		}
+		// gat retrieves and extends in one step.
+		if err := cl.SetEx("g", 0, 5, []byte("w")); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(3 * time.Second)
+		if v, _, ok, err := cl.Gat(10, "g"); err != nil || !ok || string(v) != "w" {
+			t.Fatalf("gat: %q ok=%v err=%v", v, ok, err)
+		}
+		clk.Advance(7 * time.Second)
+		if _, _, ok, err := cl.Get("g"); err != nil || !ok {
+			t.Fatalf("gat did not extend the deadline: ok=%v err=%v", ok, err)
+		}
+		// touch 0 makes it immortal.
+		if ok, err := cl.Touch("g", 0); err != nil || !ok {
+			t.Fatalf("touch 0: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(1000 * time.Hour)
+		if _, _, ok, err := cl.Get("g"); err != nil || !ok {
+			t.Fatalf("touch 0 did not clear the deadline: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// TestExpirySweepServerSide proves dead values are reclaimed by the
+// background maintenance sweep alone — no client ever touches them
+// again after storing.
+func TestExpirySweepServerSide(t *testing.T) {
+	clk := newTestClock()
+	srv := startAnchorageServer(t, Config{
+		Addr:             "127.0.0.1:0",
+		Clock:            clk.Now,
+		MaintainInterval: 2 * time.Millisecond,
+	})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := cl.SetEx(fmt.Sprintf("dying%03d", i), 0, 1, []byte("xxxxxxxxxxxxxxxx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Set("keeper", 0, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	// Wait for the maintenance loop's bounded sweeps to reap everything.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		expired, _ := strconv.Atoi(st["expired"])
+		items, _ := strconv.Atoi(st["curr_items"])
+		sweeps, _ := strconv.Atoi(st["expiry_sweeps"])
+		if expired >= n && items == 1 {
+			if sweeps < 1 {
+				t.Errorf("expiry_sweeps = %d, want >= 1", sweeps)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep incomplete: expired=%d curr_items=%d sweeps=%d", expired, items, sweeps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v, _, ok, err := cl.Get("keeper"); err != nil || !ok || string(v) != "alive" {
+		t.Fatalf("keeper damaged by sweep: %q ok=%v err=%v", v, ok, err)
+	}
+}
