@@ -8,6 +8,7 @@
 //	alaska-loadgen -addr localhost:11211 -workload ycsb-a -connections 8 -duration 10s
 //	alaska-loadgen -workload ycsb-b -records 50000 -value-size 1024 -csv
 //	alaska-loadgen -workload rmw -ttl 1 -connections 4 -duration 5s
+//	alaska-loadgen -rate 20000 -warmup 2s -latency-csv lat.csv -duration 30s
 //
 // Each connection runs on its own goroutine with its own scrambled-
 // zipfian generator, mirroring how memcached benchmarks (and the
@@ -17,6 +18,16 @@
 // mover — incr on shared counters, append, gets+cas loops — interleaved
 // with expiring sets (-ttl), so the defrag control loop runs against
 // mutating, dying data rather than a read-mostly keyspace.
+//
+// By default the generator is closed-loop: each connection issues its
+// next request the moment the previous response lands, so a slowing
+// server silently sheds offered load. -rate switches to open-loop fixed
+// arrivals: operations are scheduled on a fixed timetable and latency is
+// measured from the *intended* start (coordinated-omission-corrected),
+// so queueing delay under overload shows up in the tail instead of
+// vanishing. -warmup excludes the ramp from the report, and
+// -latency-csv emits a per-second latency-over-time series to plot
+// against the server's stats (RSS vs latency).
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
 	"strings"
@@ -61,6 +73,10 @@ func main() {
 	valueSize := flag.Int("value-size", 512, "value payload bytes")
 	valueJitter := flag.Float64("value-jitter", 0, "randomize update sizes down to (1-jitter)*value-size; nonzero churns the heap into fragmentation")
 	duration := flag.Duration("duration", 5*time.Second, "measured run length")
+	warmup := flag.Duration("warmup", 0, "ramp-up excluded from the measured stats")
+	rate := flag.Float64("rate", 0, "open-loop target ops/s across all connections (latency measured from intended start); 0 = closed loop")
+	latencyCSV := flag.String("latency-csv", "", "write a per-second latency-over-time CSV of the measured window to this file")
+	hold := flag.Int("hold", 0, "extra connections opened before the run and held idle (never sending a byte) — exercises -max-conns and -idle-timeout")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	showStats := flag.Bool("server-stats", true, "fetch and print server stats after the run")
 	csv := flag.Bool("csv", false, "emit a one-line CSV result instead of the report")
@@ -80,6 +96,33 @@ func main() {
 	}
 	if *valueJitter < 0 || *valueJitter > 1 {
 		log.Fatal("-value-jitter must be in [0,1]")
+	}
+
+	// Idle holds: opened before anything else so they are the connections
+	// occupying the server's -max-conns slots (and, with -idle-timeout,
+	// the ones its reaper kicks). Each blocks in a read until the server
+	// closes it or the run ends.
+	var holdKicked atomic.Int64
+	var holdClosing atomic.Bool
+	var holdWG sync.WaitGroup
+	holdConns := make([]net.Conn, 0, *hold)
+	for i := 0; i < *hold; i++ {
+		c, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+		if err != nil {
+			log.Fatalf("hold dial: %v", err)
+		}
+		holdConns = append(holdConns, c)
+		holdWG.Add(1)
+		go func(c net.Conn) {
+			defer holdWG.Done()
+			if _, err := c.Read(make([]byte, 1)); err != nil && !holdClosing.Load() {
+				holdKicked.Add(1) // the server hung up on us
+			}
+		}(c)
+	}
+	if *hold > 0 {
+		// Let the holds claim their accept slots before the workers dial.
+		time.Sleep(300 * time.Millisecond)
 	}
 
 	// Load phase: split the keyspace across connections, pipelined with
@@ -135,10 +178,32 @@ func main() {
 	}
 	loadDur := time.Since(loadStart)
 
-	// Run phase.
+	// Run phase. The timeline is start → (warmup) → measureStart →
+	// (duration) → deadline: every worker runs the whole span, but only
+	// operations *intended* to start inside the measured window are
+	// recorded.
 	recorders := make([]*stats.LatencyRecorder, *conns)
 	var totalOps, errOps atomic.Int64
-	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	measureStart := start.Add(*warmup)
+	deadline := measureStart.Add(*duration)
+	// Per-second latency-over-time buckets (LatencyRecorder is safe for
+	// concurrent use, so the workers share them).
+	var buckets []*stats.LatencyRecorder
+	if *latencyCSV != "" {
+		buckets = make([]*stats.LatencyRecorder, int(duration.Seconds())+1)
+		for i := range buckets {
+			buckets[i] = stats.NewLatencyRecorder()
+		}
+	}
+	// interval is the open-loop arrival spacing per connection.
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(*conns) / *rate * float64(time.Second))
+		if interval <= 0 {
+			log.Fatal("-rate too high for -connections")
+		}
+	}
 	for c := 0; c < *conns; c++ {
 		recorders[c] = stats.NewLatencyRecorder()
 		wg.Add(1)
@@ -163,6 +228,43 @@ func main() {
 				}
 				return s
 			}
+			// pace returns the op's intended start. Closed loop: now.
+			// Open loop: the next slot of this connection's fixed
+			// timetable (staggered across connections), sleeping until it
+			// arrives — and never sleeping to catch up when the server
+			// has fallen behind, so queueing delay accrues to latency.
+			next := start.Add(time.Duration(c) * interval / time.Duration(*conns))
+			pace := func() time.Time {
+				if interval <= 0 {
+					return time.Now()
+				}
+				intended := next
+				next = next.Add(interval)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				return intended
+			}
+			// finish records one completed op against its intended start
+			// if that start fell inside the measured window.
+			finish := func(intended time.Time) {
+				end := time.Now()
+				if intended.Before(measureStart) {
+					return
+				}
+				lat := end.Sub(intended)
+				rec.Record(lat)
+				totalOps.Add(1)
+				// Ops completing after the window still count in the
+				// merged totals above but are dropped from the per-second
+				// series — clamping them into the final row would inflate
+				// its load and tail.
+				if buckets != nil {
+					if idx := int(end.Sub(measureStart) / time.Second); idx >= 0 && idx < len(buckets) {
+						buckets[idx].Record(lat)
+					}
+				}
+			}
 			if rmw {
 				// RMW/TTL mix: every stored value carries -ttl, counters
 				// absorb incrs, and gets+cas loops contend for the same
@@ -170,7 +272,7 @@ func main() {
 				// pattern the paper's pause-free claim has to survive.
 				for time.Now().Before(deadline) {
 					key := ycsb.Key(uint64(rng.Intn(*records)))
-					start := time.Now()
+					opStart := pace()
 					var opErr error
 					switch r := rng.Intn(100); {
 					case r < 35:
@@ -195,8 +297,7 @@ func main() {
 						errOps.Add(1)
 						return
 					}
-					rec.Record(time.Since(start))
-					totalOps.Add(1)
+					finish(opStart)
 				}
 				return
 			}
@@ -207,7 +308,7 @@ func main() {
 			}
 			for time.Now().Before(deadline) {
 				op := gen.Next()
-				start := time.Now()
+				opStart := pace()
 				var opErr error
 				switch op.Type {
 				case ycsb.Read:
@@ -223,12 +324,24 @@ func main() {
 					errOps.Add(1)
 					return
 				}
-				rec.Record(time.Since(start))
-				totalOps.Add(1)
+				finish(opStart)
 			}
 		}(c)
 	}
 	wg.Wait()
+
+	// Release the idle holds (any still open were not kicked).
+	holdClosing.Store(true)
+	for _, c := range holdConns {
+		_ = c.Close()
+	}
+	holdWG.Wait()
+
+	if *latencyCSV != "" {
+		if err := writeLatencyCSV(*latencyCSV, buckets); err != nil {
+			log.Fatalf("latency csv: %v", err)
+		}
+	}
 
 	merged := stats.NewLatencyRecorder()
 	for _, r := range recorders {
@@ -247,11 +360,17 @@ func main() {
 		fmt.Printf("workload=%s connections=%d records=%d value=%dB\n",
 			strings.ToUpper(*workloadFlag), *conns, *records, *valueSize)
 		fmt.Printf("load: %d records in %v\n", *records, loadDur.Round(time.Millisecond))
+		if *rate > 0 {
+			fmt.Printf("open-loop: target %.0f ops/s, warmup %v\n", *rate, *warmup)
+		}
 		fmt.Printf("run: %d ops in %v = %.0f ops/s, errors: %d\n",
 			ops, *duration, throughput, errOps.Load())
 		fmt.Printf("latency: mean=%v p50=%v p99=%v p999=%v max=%v\n",
 			merged.Mean(), merged.Percentile(50), merged.Percentile(99),
 			merged.Percentile(99.9), merged.Max())
+		if *hold > 0 {
+			fmt.Printf("idle holds: %d opened, %d kicked by server\n", *hold, holdKicked.Load())
+		}
 	}
 
 	if *showStats {
@@ -280,6 +399,28 @@ func main() {
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// writeLatencyCSV emits the per-second latency-over-time series: one row
+// per elapsed second of the measured window, ready to join against the
+// server's stats for RSS-vs-latency plots.
+func writeLatencyCSV(path string, buckets []*stats.LatencyRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "elapsed_s,ops,p50_us,p99_us,p999_us,max_us"); err != nil {
+		return err
+	}
+	for i, b := range buckets {
+		if _, err := fmt.Fprintf(f, "%d,%d,%.1f,%.1f,%.1f,%.1f\n",
+			i, b.Count(), us(b.Percentile(50)), us(b.Percentile(99)),
+			us(b.Percentile(99.9)), us(b.Max())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // counterKeys sizes the rmw workload's shared-counter keyspace: a tenth
 // of the record count, at least one, so counters see real incr

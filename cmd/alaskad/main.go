@@ -61,6 +61,10 @@ func main() {
 	shards := flag.Int("shards", 32, "store shard count")
 	maxMemory := flag.String("max-memory", "0", "total value-memory cap with LRU eviction (bytes, KiB/MiB/GiB suffixes; 0 = unlimited)")
 	maxValue := flag.String("max-value-size", "1MiB", "largest accepted value")
+	maxConns := flag.Int("max-conns", 0, "max concurrent connections (memcached -c): at the cap the accept loop pauses until a disconnect; 0 = unlimited")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections with no completed command for this long; 0 = never")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "deadline per socket write; a client that stops reading its responses is disconnected; 0 = none")
+	replyBacklog := flag.String("max-reply-backlog", "64MiB", "reply bytes buffered for a non-reading client before disconnect")
 	maintain := flag.Duration("maintain-interval", 50*time.Millisecond, "background maintenance tick")
 	fragHigh := flag.Float64("defrag-frag-high", 1.3, "fragmentation threshold for pause-free concurrent passes (anchorage)")
 	budget := flag.String("defrag-budget", "1MiB", "bytes moved per concurrent defrag pass")
@@ -78,6 +82,10 @@ func main() {
 	defragBudget, err := parseBytes(*budget)
 	if err != nil {
 		log.Fatalf("bad -defrag-budget: %v", err)
+	}
+	maxBacklog, err := parseBytes(*replyBacklog)
+	if err != nil {
+		log.Fatalf("bad -max-reply-backlog: %v", err)
 	}
 	if *shards < 1 {
 		log.Fatalf("-shards must be >= 1")
@@ -110,6 +118,10 @@ func main() {
 		DefragFragHigh:   *fragHigh,
 		DefragBudget:     defragBudget,
 		Version:          version + "-" + *backendName,
+		MaxConns:         *maxConns,
+		IdleTimeout:      *idleTimeout,
+		WriteTimeout:     *writeTimeout,
+		MaxReplyBacklog:  int(maxBacklog),
 	})
 	if err := srv.Listen(); err != nil {
 		log.Fatalf("listen: %v", err)

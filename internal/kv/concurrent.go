@@ -25,6 +25,11 @@ type ShardedStore struct {
 	Clock func() time.Time
 
 	sweeps atomic.Int64 // expiry sweep rounds run
+	// flushAt is the flush_all epoch in Clock unixnanos (0 = none):
+	// every entry stored strictly before it is dead once the clock
+	// reaches it. An atomic so FlushAll is O(1) and lock-free while the
+	// per-entry check rides the existing lazy-expiry paths.
+	flushAt atomic.Int64
 }
 
 type shard struct {
@@ -36,6 +41,9 @@ type shard struct {
 	// the shard outright for TTL-free workloads.
 	ttl   int
 	stats StatsSnapshot // per-shard counters, aggregated by Snapshot
+	// flushedFor is the flush_all epoch this shard has been fully swept
+	// for, so each flush costs exactly one full scan per shard.
+	flushedFor int64
 }
 
 // setDeadline rewrites e's deadline, keeping the shard's ttl-entry count
@@ -103,15 +111,34 @@ func (s *ShardedStore) removeLocked(sh *shard, e *entry) {
 	}
 }
 
+// deadAt reports whether e is dead at now: past its own deadline, or
+// stored before a flush_all epoch the clock has reached.
+func (s *ShardedStore) deadAt(e *entry, now time.Time) bool {
+	if e.expiredAt(now) {
+		return true
+	}
+	fa := s.flushAt.Load()
+	return fa != 0 && now.UnixNano() >= fa && e.storedAt.UnixNano() < fa
+}
+
+// FlushAll marks every entry stored before at as expired once the clock
+// reaches at — memcached's flush_all [delay]: a store-wide epoch honored
+// by the same lazy-expiry paths as per-entry TTLs, plus one full
+// reclamation sweep per shard by Maintain after the epoch passes.
+// Entries stored after the epoch (even while it is still pending) are
+// untouched. O(1) no matter how many items are live.
+func (s *ShardedStore) FlushAll(at time.Time) { s.flushAt.Store(at.UnixNano()) }
+
 // lookupLocked returns key's entry after lazy expiry: an entry whose
-// deadline has passed is reclaimed on the spot (counted in Expired) and
-// reported absent — memcached's expire-on-access. Caller holds sh.mu.
+// deadline has passed (or that sits behind a reached flush_all epoch) is
+// reclaimed on the spot (counted in Expired) and reported absent —
+// memcached's expire-on-access. Caller holds sh.mu.
 func (s *ShardedStore) lookupLocked(sh *shard, key string, now time.Time) (*entry, bool) {
 	e, ok := sh.index[key]
 	if !ok {
 		return nil, false
 	}
-	if e.expiredAt(now) {
+	if s.deadAt(e, now) {
 		s.removeLocked(sh, e)
 		sh.stats.Expired++
 		return nil, false
@@ -156,7 +183,7 @@ func (s *ShardedStore) insertLocked(sh *shard, sess Session, key string, value [
 	if old, ok := sh.index[key]; ok {
 		s.removeLocked(sh, old)
 	}
-	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt}
+	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt, storedAt: s.now()}
 	e.el = sh.lru.PushFront(e)
 	sh.index[key] = e
 	sh.used += e.size
@@ -358,9 +385,28 @@ func (s *ShardedStore) Del(sess Session, key string) (bool, error) {
 // defrag controller's truncation.
 func (s *ShardedStore) SweepExpired(budget int) int {
 	now := s.now()
+	fa := s.flushAt.Load()
+	flushDue := fa != 0 && now.UnixNano() >= fa
 	reclaimed := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		if flushDue && sh.flushedFor < fa {
+			// A flush_all epoch has passed that this shard hasn't been
+			// swept for: one full scan reclaims everything the epoch
+			// killed (a flush is a rare admin event; one O(shard) walk is
+			// the whole cost), then the shard drops back to the
+			// budget-bounded crawl.
+			for _, e := range sh.index {
+				if s.deadAt(e, now) {
+					s.removeLocked(sh, e)
+					sh.stats.Expired++
+					reclaimed++
+				}
+			}
+			sh.flushedFor = fa
+			sh.mu.Unlock()
+			continue
+		}
 		// TTL-free shards are skipped outright, so workloads that never
 		// set an exptime pay nothing for the sweep.
 		if sh.ttl == 0 {
@@ -373,7 +419,7 @@ func (s *ShardedStore) SweepExpired(budget int) int {
 				break
 			}
 			scanned++
-			if e.expiredAt(now) {
+			if s.deadAt(e, now) {
 				s.removeLocked(sh, e)
 				sh.stats.Expired++
 				reclaimed++

@@ -37,6 +37,11 @@ type Store struct {
 	// which the figure/YCSB harnesses call once per simulated op — can
 	// skip the sweep entirely for TTL-free workloads.
 	ttlEntries int
+	// flushAt is the flush_all epoch (zero = none): every entry stored
+	// before it is dead once the clock reaches it. flushSwept records
+	// whether SweepExpired has reclaimed that epoch's casualties yet.
+	flushAt    time.Time
+	flushSwept bool
 }
 
 type entry struct {
@@ -46,6 +51,10 @@ type entry struct {
 	// expireAt is the absolute expiry deadline; the zero time means the
 	// entry never expires.
 	expireAt time.Time
+	// storedAt is when the value was stored — the timestamp flush_all's
+	// store-wide epoch compares against (touch moves expireAt only, so a
+	// touched value cannot escape a flush).
+	storedAt time.Time
 	el       *list.Element
 }
 
@@ -85,14 +94,34 @@ func (s *Store) now() time.Time {
 	return time.Now()
 }
 
+// deadAt reports whether e is dead at now: past its own deadline, or
+// stored before a flush_all epoch the clock has reached.
+func (s *Store) deadAt(e *entry, now time.Time) bool {
+	if e.expiredAt(now) {
+		return true
+	}
+	return !s.flushAt.IsZero() && !now.Before(s.flushAt) && e.storedAt.Before(s.flushAt)
+}
+
+// FlushAll marks every entry stored before at as expired once the clock
+// reaches at — memcached's flush_all [delay]. Entries stored after the
+// epoch (even while it is still pending) are untouched; entries stored
+// before it die at the epoch, honored lazily on access plus one
+// reclamation sweep.
+func (s *Store) FlushAll(at time.Time) {
+	s.flushAt = at
+	s.flushSwept = false
+}
+
 // lookup returns key's entry after lazy expiry: an entry past its
-// deadline is reclaimed on the spot and reported absent.
+// deadline (or behind a reached flush_all epoch) is reclaimed on the
+// spot and reported absent.
 func (s *Store) lookup(key string) (*entry, bool) {
 	e, ok := s.index[key]
 	if !ok {
 		return nil, false
 	}
-	if e.expiredAt(s.now()) {
+	if s.deadAt(e, s.now()) {
 		s.removeEntry(e)
 		s.rmw.Expired++
 		return nil, false
@@ -146,7 +175,7 @@ func (s *Store) insert(key string, value []byte, expireAt time.Time) error {
 	if old, ok := s.index[key]; ok {
 		s.removeEntry(old)
 	}
-	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt}
+	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt, storedAt: s.now()}
 	e.el = s.lru.PushFront(e)
 	s.index[key] = e
 	if !expireAt.IsZero() {
@@ -250,19 +279,34 @@ func (s *Store) Touch(key string, expireAt time.Time) (found bool, err error) {
 
 // SweepExpired scans up to budget entries and reclaims those past their
 // deadline, returning the number reclaimed. A TTL-free store skips the
-// scan (and the counter) outright.
+// scan (and the counter) outright. A reached flush_all epoch triggers
+// one full scan — flushes are rare admin events, and afterwards the
+// store drops back to the budget-bounded crawl.
 func (s *Store) SweepExpired(budget int) int {
+	now := s.now()
+	if !s.flushSwept && !s.flushAt.IsZero() && !now.Before(s.flushAt) {
+		reclaimed := 0
+		for _, e := range s.index {
+			if s.deadAt(e, now) {
+				s.removeEntry(e)
+				s.rmw.Expired++
+				reclaimed++
+			}
+		}
+		s.flushSwept = true
+		s.rmw.ExpirySweeps++
+		return reclaimed
+	}
 	if s.ttlEntries == 0 {
 		return 0
 	}
-	now := s.now()
 	reclaimed, scanned := 0, 0
 	for _, e := range s.index {
 		if scanned >= budget {
 			break
 		}
 		scanned++
-		if e.expiredAt(now) {
+		if s.deadAt(e, now) {
 			s.removeEntry(e)
 			s.rmw.Expired++
 			reclaimed++

@@ -269,6 +269,44 @@ func (cl *Client) Delete(key string) (bool, error) {
 	return false, fmt.Errorf("server: delete %q: %s", key, resp)
 }
 
+// FlushAll marks every currently stored value expired delay seconds
+// from now (0 = immediately).
+func (cl *Client) FlushAll(delay int64) error {
+	if delay > 0 {
+		fmt.Fprintf(cl.w, "flush_all %d\r\n", delay)
+	} else {
+		cl.w.WriteString("flush_all\r\n")
+	}
+	if err := cl.w.Flush(); err != nil {
+		return err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return err
+	}
+	if resp != respOK {
+		return fmt.Errorf("server: flush_all: %s", resp)
+	}
+	return nil
+}
+
+// Verbosity sets the server's logging verbosity (accepted and ignored
+// by alaskad, like most deployments treat it).
+func (cl *Client) Verbosity(level uint64) error {
+	fmt.Fprintf(cl.w, "verbosity %d\r\n", level)
+	if err := cl.w.Flush(); err != nil {
+		return err
+	}
+	resp, err := cl.line()
+	if err != nil {
+		return err
+	}
+	if resp != respOK {
+		return fmt.Errorf("server: verbosity: %s", resp)
+	}
+	return nil
+}
+
 // Stats returns the server's stats as a name→value map.
 func (cl *Client) Stats() (map[string]string, error) {
 	if _, err := cl.w.WriteString("stats\r\n"); err != nil {

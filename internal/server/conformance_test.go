@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -341,6 +342,54 @@ func TestExptimeConformance(t *testing.T) {
 	})
 }
 
+// TestFlushAllVerbosityConformance: flush_all as a store-wide expiry
+// epoch (O(1), honored lazily) and the verbosity no-op, on all three
+// backends. Only instant flushes run here; the delayed form is asserted
+// deterministically under the mock clock in ttl_test.go.
+func TestFlushAllVerbosityConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", Version: "conftest"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"verbosity 1\r\n", "OK\r\n"},
+			// noreply verbosity is silent.
+			{"verbosity 2 noreply\r\nversion\r\n", "VERSION conftest\r\n"},
+			{"verbosity\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"verbosity abc\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"set a 1 0 2\r\naa\r\n", "STORED\r\n"},
+			{"set b 0 0 2\r\nbb\r\n", "STORED\r\n"},
+			// Everything stored before the flush dies at once...
+			{"flush_all\r\n", "OK\r\n"},
+			{"get a b\r\n", "END\r\n"},
+			// ...and is invisible to delete, like any expired item.
+			{"delete a\r\n", "NOT_FOUND\r\n"},
+			// Values stored after the flush are untouched.
+			{"set c 0 0 2\r\ncc\r\n", "STORED\r\n"},
+			{"get c\r\n", "VALUE c 0 2\r\ncc\r\nEND\r\n"},
+			// noreply flush is silent and still flushes.
+			{"flush_all noreply\r\nget c\r\n", "END\r\n"},
+			// Malformed forms.
+			{"flush_all -1\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"flush_all 10 20\r\n", "CLIENT_ERROR bad command line format\r\n"},
+			{"flush_all abc\r\n", "CLIENT_ERROR bad command line format\r\n"},
+		})
+		// The flushes surface in cmd_flush; the casualties in expired.
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		st, err := cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st["cmd_flush"] != "2" {
+			t.Errorf("cmd_flush = %s, want 2", st["cmd_flush"])
+		}
+		if exp, _ := strconv.Atoi(st["expired"]); exp < 3 {
+			t.Errorf("expired = %s, want >= 3 (a, b, c)", st["expired"])
+		}
+	})
+}
+
 // TestRMWStatsSurface checks the new stats counters through a full
 // cas/incr/decr/touch/expiry flow.
 func TestRMWStatsSurface(t *testing.T) {
@@ -528,9 +577,21 @@ func TestStatsSurface(t *testing.T) {
 			t.Errorf("stats[%s] = %q, want %q", k, st[k], want)
 		}
 	}
-	for _, k := range []string{"bytes", "rss_bytes", "defrag_concurrent_passes", "defrag_barrier_passes", "latency_p99_us", "curr_connections"} {
+	for _, k := range []string{
+		"bytes", "rss_bytes", "defrag_concurrent_passes", "defrag_barrier_passes",
+		"latency_p99_us", "curr_connections",
+		// The connection-limits surface: present (and zero) even on a
+		// server with no limits configured.
+		"max_connections", "listen_disabled_num", "accept_errors",
+		"idle_kicks", "slow_client_kicks", "cmd_flush",
+	} {
 		if _, ok := st[k]; !ok {
 			t.Errorf("stats missing %s", k)
+		}
+	}
+	for _, k := range []string{"listen_disabled_num", "accept_errors", "idle_kicks", "slow_client_kicks"} {
+		if st[k] != "0" {
+			t.Errorf("stats[%s] = %q on an unconstrained healthy server, want 0", k, st[k])
 		}
 	}
 }

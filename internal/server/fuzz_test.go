@@ -8,6 +8,7 @@ package server
 // exptime the deadline converter can't normalize.
 
 import (
+	"bufio"
 	"strings"
 	"testing"
 	"time"
@@ -47,11 +48,35 @@ func FuzzParseCommand(f *testing.F) {
 		"set k\r\n0 0 5",
 		"set k\x00 0 0 5",
 		"incr \x7f 1",
+		"flush_all",
+		"flush_all 100",
+		"flush_all 0 noreply",
+		"flush_all 2592001",
+		"flush_all -1",
+		"flush_all 9223372036854775808",
+		"verbosity 1",
+		"verbosity 2 noreply",
+		"verbosity",
+		"verbosity abc",
+		// Over-length lines: the bounded reader must reject these without
+		// buffering, and the parsers must stay panic-free on what slips
+		// through as fields.
+		"get " + strings.Repeat("a", 4096),
+		"set " + strings.Repeat("b", 3000) + " 0 0 5",
+		strings.Repeat("c", 5000),
 	} {
 		f.Add(s)
 	}
 	now := time.Unix(1_700_000_000, 0)
 	f.Fuzz(func(t *testing.T, line string) {
+		// The bounded line reader must either reject an over-length line
+		// or hand back one at most max bytes long — never buffer past the
+		// cap (a tiny bufio window forces the multi-fragment path).
+		const maxLine = 64
+		r := bufio.NewReaderSize(strings.NewReader(line+"\n"), maxLine+2)
+		if s, err := readLineDirect(r, maxLine); err == nil && len(s) > maxLine+1 {
+			t.Errorf("readLineDirect returned %d bytes past the %d cap from %q", len(s), maxLine, line)
+		}
 		fields := splitCommand(line)
 		if len(fields) == 0 {
 			return
@@ -101,6 +126,16 @@ func FuzzParseCommand(f *testing.F) {
 				}
 				deadlineFor(exptime, now)
 			}
+		case "flush_all":
+			delay, _, err := parseFlushAll(args)
+			if err == nil {
+				if delay < 0 {
+					t.Errorf("parseFlushAll accepted negative delay %d from %q", delay, line)
+				}
+				deadlineFor(delay, now)
+			}
+		case "verbosity":
+			_, _, _ = parseVerbosity(args) // must not panic
 		case "get", "gets":
 			// Retrieval keys are validated in the handler, not a parser;
 			// exercise the validator directly.

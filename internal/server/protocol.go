@@ -27,8 +27,10 @@ const (
 	respNotFound    = "NOT_FOUND"
 	respTouched     = "TOUCHED"
 	respEnd         = "END"
+	respOK          = "OK"
 	respError       = "ERROR"
 	respBadFormat   = "CLIENT_ERROR bad command line format"
+	respLineTooLong = "CLIENT_ERROR line too long"
 	respBadChunk    = "CLIENT_ERROR bad data chunk"
 	respNonNumeric  = "CLIENT_ERROR cannot increment or decrement non-numeric value"
 	respBadDelta    = "CLIENT_ERROR invalid numeric delta argument"
@@ -173,6 +175,44 @@ func parseTouch(args []string) (key string, exptime int64, noreply bool, err err
 		return "", 0, false, errBadLine
 	}
 	return args[0], exptime, noreply, nil
+}
+
+// parseFlushAll parses `flush_all [delay] [noreply]`. The delay must be
+// a non-negative int64 (memcached's unsigned rexpirtime); omitting it
+// means flush immediately.
+func parseFlushAll(args []string) (delay int64, noreply bool, err error) {
+	if n := len(args); n > 0 && args[n-1] == "noreply" {
+		noreply = true
+		args = args[:n-1]
+	}
+	switch len(args) {
+	case 0:
+		return 0, noreply, nil
+	case 1:
+		delay, err = strconv.ParseInt(args[0], 10, 64)
+		if err != nil || delay < 0 {
+			return 0, noreply, errBadLine
+		}
+		return delay, noreply, nil
+	default:
+		return 0, noreply, errBadLine
+	}
+}
+
+// parseVerbosity parses `verbosity <level> [noreply]`.
+func parseVerbosity(args []string) (level uint64, noreply bool, err error) {
+	if len(args) == 2 && args[1] == "noreply" {
+		noreply = true
+		args = args[:1]
+	}
+	if len(args) != 1 {
+		return 0, noreply, errBadLine
+	}
+	level, err = strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return 0, noreply, errBadLine
+	}
+	return level, noreply, nil
 }
 
 // parseGat parses `gat|gats <exptime> <key>+`.

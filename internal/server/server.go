@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,9 +38,40 @@ type Config struct {
 	Version string
 	// Clock supplies the wall-clock time used for TTL decisions — exptime
 	// normalization here and expiry checks in the store (the server
-	// installs it as the store's Clock). Default time.Now; swap in a fake
-	// to make expiry deterministically testable.
+	// installs it as the store's Clock). It also drives the idle reaper's
+	// notion of "now". Default time.Now; swap in a fake to make expiry and
+	// idle reaping deterministically testable.
 	Clock func() time.Time
+
+	// MaxConns caps concurrent connections (memcached's -c): at the cap
+	// the accept loop simply stops accepting — connections queue in the
+	// kernel's listen backlog — and resumes when a slot frees. Deferred
+	// accepts are counted in listen_disabled_num. 0 = unlimited.
+	MaxConns int
+	// IdleTimeout reaps a connection that has not completed a command
+	// line (or made write progress) for this long — a slow-loris socket
+	// is closed instead of pinning its kv.Session and connection slot
+	// forever. Counted in idle_kicks. 0 = never reap.
+	IdleTimeout time.Duration
+	// WriteTimeout is the deadline applied to every socket write (each
+	// bufio flush and write-through): a client that stops reading its
+	// own responses is disconnected once the kernel buffers fill and a
+	// write misses the deadline. Counted in slow_client_kicks. 0 = no
+	// deadline.
+	WriteTimeout time.Duration
+	// MaxReplyBacklog caps reply bytes produced between successful
+	// drains: past the budget the handler stops generating and forces a
+	// (deadline-bounded) flush, so a client that pipelines retrievals
+	// without reading them is made to drain — or disconnect — every
+	// budget's worth of bytes instead of being streamed at from an
+	// unbounded queue. A client that is reading absorbs the forced flush
+	// and is unaffected. Default 64 MiB; -1 disables the cap.
+	MaxReplyBacklog int
+	// MaxLineLen bounds one command line (memcached caps these at 2 KiB);
+	// an over-length line is answered with CLIENT_ERROR line too long and
+	// the stream resynced at the next newline, instead of growing the
+	// read buffer without bound. Default 2048.
+	MaxLineLen int
 }
 
 func (c *Config) withDefaults() Config {
@@ -62,8 +94,22 @@ func (c *Config) withDefaults() Config {
 	if out.Clock == nil {
 		out.Clock = time.Now
 	}
+	if out.MaxReplyBacklog == 0 {
+		out.MaxReplyBacklog = 64 << 20
+	}
+	if out.MaxLineLen == 0 {
+		out.MaxLineLen = 2048
+	}
 	return out
 }
+
+// Accept-error backoff bounds: transient failures (EMFILE under fd
+// pressure, ECONNABORTED) are retried with capped exponential backoff
+// instead of killing the server.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
 
 // Server is a memcached-ASCII-protocol server over a kv.ShardedStore.
 type Server struct {
@@ -77,21 +123,91 @@ type Server struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup // maintenance + accept loop
 	connW sync.WaitGroup // one per live connection
+	// connSem is the -max-conns accept gate (nil = unlimited): the accept
+	// loop acquires a slot before accepting and the handler releases it on
+	// exit, so at the cap the loop blocks — listen disabled — until a
+	// disconnect.
+	connSem chan struct{}
 
 	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	conns map[*conn]struct{}
 	start time.Time
 
 	// Counters surfaced by `stats`.
 	currConns      atomic.Int64
 	totalConns     atomic.Int64
 	protocolErrors atomic.Int64
+	listenDisabled atomic.Int64
+	acceptErrors   atomic.Int64
+	idleKicks      atomic.Int64
+	slowKicks      atomic.Int64
+	cmdFlush       atomic.Int64
 	casCounter     atomic.Uint64
 	barrierPauseNs atomic.Int64
 	lat            *stats.LatencyRecorder
 
 	closeOnce sync.Once
 }
+
+// conn wraps an accepted socket with the reaping bookkeeping: an
+// idempotent close (the handler's exit path, the idle reaper, and
+// Shutdown may each try to close it — whoever gets there first wins and
+// the rest are no-ops), a last-activity stamp for the idle reaper, and a
+// per-write deadline so a stalled client cannot wedge a flush forever.
+type conn struct {
+	net.Conn
+	writeTimeout time.Duration
+	clock        func() time.Time
+	closeOnce    sync.Once
+	closeErr     error
+	// lastActive is the Config.Clock unixnano of the last completed
+	// command line or write progress. Partial bytes from a slow-loris
+	// client do not count as activity (memcached's last_cmd_time rule).
+	lastActive atomic.Int64
+	// slow is tripped when a write misses its deadline or the reply
+	// backlog cap, so the handler's exit path counts the disconnect in
+	// slow_client_kicks.
+	slow atomic.Bool
+}
+
+// Write applies the per-flush write deadline. bufio's mid-Write flushes
+// land here too, so every socket write a slow client can stall is
+// deadline-bounded. A successful write is client-side drain progress and
+// counts as activity for the idle reaper — a client reading a large
+// reply slowly but steadily is making progress, not idling.
+func (c *conn) Write(p []byte) (int, error) {
+	if c.writeTimeout > 0 {
+		_ = c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	n, err := c.Conn.Write(p)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		c.slow.Store(true)
+	}
+	if n > 0 {
+		c.touch(c.clock())
+	}
+	return n, err
+}
+
+// kill closes the socket exactly once, reporting whether this call was
+// the one that performed the close (so each reap is counted once even
+// when the reaper, Shutdown, and the handler race).
+func (c *conn) kill() bool {
+	killed := false
+	c.closeOnce.Do(func() {
+		c.closeErr = c.Conn.Close()
+		killed = true
+	})
+	return killed
+}
+
+// Close makes the wrapper itself idempotent for every other closer.
+func (c *conn) Close() error {
+	c.kill()
+	return c.closeErr
+}
+
+func (c *conn) touch(now time.Time) { c.lastActive.Store(now.UnixNano()) }
 
 // New builds a server over the store. The store's backend decides the
 // maintenance behavior: on Anchorage, the §4.3 control loop plus
@@ -102,8 +218,11 @@ func New(store *kv.ShardedStore, cfg Config) *Server {
 		cfg:   cfg.withDefaults(),
 		store: store,
 		quit:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
+		conns: make(map[*conn]struct{}),
 		lat:   stats.NewLatencyRecorder(),
+	}
+	if s.cfg.MaxConns > 0 {
+		s.connSem = make(chan struct{}, s.cfg.MaxConns)
 	}
 	if ab, ok := store.Backend().(*kv.AnchorageBackend); ok {
 		s.anch = ab
@@ -134,14 +253,36 @@ func (s *Server) Addr() string {
 }
 
 // Serve runs the accept loop until Shutdown. Listen must have been
-// called. It always returns nil after a clean shutdown.
+// called. Transient accept errors (EMFILE under fd pressure,
+// ECONNABORTED) are retried with capped exponential backoff — only
+// Shutdown or a closed listener terminate the loop — so one bad accept
+// never kills a server holding thousands of live connections. It always
+// returns nil after a clean shutdown.
 func (s *Server) Serve() error {
 	s.start = time.Now()
 	s.wg.Add(1)
 	go s.maintainLoop()
+	backoff := acceptBackoffMin
 	for {
-		c, err := s.ln.Accept()
+		waited, ok := s.acquireConnSlot()
+		if !ok {
+			return nil
+		}
+		var c net.Conn
+		var err error
+		deferred := false
+		if waited {
+			// The gate was closed: a connection accepted *right now* was
+			// sitting in the listen backlog while we were at capacity —
+			// that is a deferred accept. One that arrives later was not.
+			c, err = s.pollPendingAccept()
+			deferred = c != nil
+		}
+		if c == nil && err == nil {
+			c, err = s.ln.Accept()
+		}
 		if err != nil {
+			s.releaseConnSlot()
 			select {
 			case <-s.quit:
 				return nil
@@ -150,16 +291,80 @@ func (s *Server) Serve() error {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
-			return err
+			s.acceptErrors.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-s.quit:
+				return nil
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
+		if deferred {
+			s.listenDisabled.Add(1)
+		}
+		wc := &conn{Conn: c, writeTimeout: s.cfg.WriteTimeout, clock: s.cfg.Clock}
+		wc.touch(s.cfg.Clock())
 		s.mu.Lock()
-		s.conns[c] = struct{}{}
+		s.conns[wc] = struct{}{}
 		s.mu.Unlock()
 		s.totalConns.Add(1)
 		s.currConns.Add(1)
 		s.connW.Add(1)
-		go s.handleConn(c)
+		go s.handleConn(wc)
 	}
+}
+
+// acquireConnSlot blocks while the server sits at -max-conns, reporting
+// whether it had to wait (the accept that follows is a deferred one) and
+// whether the server is still running.
+func (s *Server) acquireConnSlot() (waited, ok bool) {
+	if s.connSem == nil {
+		return false, true
+	}
+	select {
+	case s.connSem <- struct{}{}:
+		return false, true
+	default:
+	}
+	select {
+	case s.connSem <- struct{}{}:
+		return true, true
+	case <-s.quit:
+		return false, false
+	}
+}
+
+func (s *Server) releaseConnSlot() {
+	if s.connSem != nil {
+		<-s.connSem
+	}
+}
+
+// pollPendingAccept checks — via a near-immediate accept deadline —
+// whether a connection is already queued in the listen backlog, and
+// accepts it if so. (nil, nil) means nothing was waiting. On listeners
+// without deadlines, the first accept after a wait is simply treated as
+// deferred.
+func (s *Server) pollPendingAccept() (net.Conn, error) {
+	d, ok := s.ln.(interface{ SetDeadline(time.Time) error })
+	if !ok {
+		return s.ln.Accept()
+	}
+	_ = d.SetDeadline(time.Now().Add(time.Millisecond))
+	c, err := s.ln.Accept()
+	_ = d.SetDeadline(time.Time{})
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return c, nil
 }
 
 // ListenAndServe is Listen followed by Serve.
@@ -187,7 +392,9 @@ func (s *Server) Shutdown(drain time.Duration) error {
 		select {
 		case <-done:
 		case <-time.After(drain):
-			// Connections idling in a read only notice via conn close.
+			// Connections idling in a read only notice via conn close. The
+			// close is idempotent, so racing the idle reaper or a handler's
+			// own exit path is harmless.
 			s.mu.Lock()
 			for c := range s.conns {
 				_ = c.Close()
@@ -229,8 +436,30 @@ func (s *Server) maintainLoop() {
 				// Return vacated blocks whose grace period has elapsed.
 				s.anch.Svc.DrainDeferred()
 			}
+			s.reapIdle()
 		}
 	}
+}
+
+// reapIdle closes connections that have not completed a command within
+// IdleTimeout. The blocked read errors out and the handler exits through
+// its normal cleanup path; because the wait was spent in the session's
+// idle (external) state, no barrier ever waited on the dead client — the
+// reap just returns its slot and handle pins to the system.
+func (s *Server) reapIdle() {
+	if s.cfg.IdleTimeout <= 0 {
+		return
+	}
+	now := s.cfg.Clock().UnixNano()
+	s.mu.Lock()
+	for c := range s.conns {
+		if now-c.lastActive.Load() > int64(s.cfg.IdleTimeout) {
+			if c.kill() {
+				s.idleKicks.Add(1)
+			}
+		}
+	}
+	s.mu.Unlock()
 }
 
 // connHandler is the per-connection state: its own kv.Session (an
@@ -240,34 +469,64 @@ func (s *Server) maintainLoop() {
 // between commands so barriers make progress under load.
 type connHandler struct {
 	srv  *Server
-	c    net.Conn
+	c    *conn
 	sess kv.Session
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// backlog counts reply bytes accepted into the write path since the
+	// last successful drain — the MaxReplyBacklog budget.
+	backlog int
 }
 
-func (s *Server) handleConn(c net.Conn) {
+func (s *Server) handleConn(c *conn) {
 	defer s.connW.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
 		s.currConns.Add(-1)
+		if c.slow.Load() {
+			s.slowKicks.Add(1)
+		}
 		_ = c.Close()
+		s.releaseConnSlot()
 	}()
+	// The read buffer must fit a full legal command line plus CRLF, or
+	// readLineDirect's window-full guard would reject lines the
+	// configured cap allows.
+	rsize := 16 << 10
+	if s.cfg.MaxLineLen+2 > rsize {
+		rsize = s.cfg.MaxLineLen + 2
+	}
 	h := &connHandler{
 		srv:  s,
 		c:    c,
 		sess: s.store.NewSession(),
-		r:    bufio.NewReaderSize(c, 16<<10),
+		r:    bufio.NewReaderSize(c, rsize),
 		w:    bufio.NewWriterSize(c, 16<<10),
 	}
 	defer h.sess.Close()
 	for {
 		line, err := h.readLine()
-		if err != nil {
-			return // EOF or connection failure
+		if err == errLineTooLong {
+			// Report, then discard through the next newline with bounded
+			// memory, memcached-style — one hostile newline-free stream
+			// must not grow the buffer, and the conversation can resume
+			// at the next line.
+			if h.replyError(respLineTooLong) != nil || h.flush() != nil {
+				return
+			}
+			if h.resyncLine() != nil {
+				return
+			}
+			continue
 		}
+		if err != nil {
+			return // EOF, reap, or connection failure
+		}
+		// A completed command line is activity for the idle reaper;
+		// partial bytes never are.
+		c.touch(s.cfg.Clock())
 		start := time.Now()
 		quit, err := h.dispatch(line)
 		if err != nil {
@@ -304,24 +563,71 @@ func (h *connHandler) commandPending() bool {
 	return err == nil && bytes.IndexByte(peek, '\n') >= 0
 }
 
-// readLine reads one CRLF-terminated command line. If the line is not
-// already buffered, the wait happens in the session's idle (external)
-// state so stop-the-world barriers don't wait for this connection.
+// errLineTooLong marks a command line exceeding MaxLineLen. The handler
+// answers CLIENT_ERROR line too long and resyncs instead of dropping the
+// connection — and, critically, instead of buffering the line.
+var errLineTooLong = errors.New("server: command line too long")
+
+// readLine reads one CRLF-terminated command line of at most MaxLineLen
+// bytes. If the line is not already buffered, the wait happens in the
+// session's idle (external) state so stop-the-world barriers don't wait
+// for this connection.
 func (h *connHandler) readLine() (string, error) {
 	if h.commandPending() {
-		return readLineDirect(h.r)
+		return readLineDirect(h.r, h.srv.cfg.MaxLineLen)
 	}
 	h.sess.EnterIdle()
 	defer h.sess.ExitIdle()
-	return readLineDirect(h.r)
+	return readLineDirect(h.r, h.srv.cfg.MaxLineLen)
 }
 
-func readLineDirect(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", err
+// readLineDirect reads one line in bounded memory by scanning the
+// buffered window as bytes arrive: the moment more than max bytes (plus
+// the CRLF terminator) are present with no newline, the line is rejected
+// — however much, or however slowly, a hostile client streams.
+func readLineDirect(r *bufio.Reader, max int) (string, error) {
+	want := 1
+	for {
+		if _, err := r.Peek(want); r.Buffered() < want {
+			return "", err // EOF / reap / connection failure mid-line
+		}
+		n := r.Buffered()
+		window, _ := r.Peek(n)
+		if i := bytes.IndexByte(window, '\n'); i >= 0 {
+			if i > max+1 { // line content + optional \r
+				return "", errLineTooLong
+			}
+			line := strings.TrimSuffix(string(window[:i]), "\r")
+			_, _ = r.Discard(i + 1)
+			return line, nil
+		}
+		if n > max+1 {
+			return "", errLineTooLong
+		}
+		if want = n + 1; want > r.Size() {
+			// The whole bufio window filled without a newline: over any
+			// sane cap (the resync path discards from here).
+			return "", errLineTooLong
+		}
 	}
-	return strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r"), nil
+}
+
+// resyncLine discards input through the next newline in bounded memory,
+// idling the session while it waits (the bytes may dribble in from a
+// hostile client arbitrarily slowly). Used to recover stream framing
+// after an over-length line or a bad data chunk.
+func (h *connHandler) resyncLine() error {
+	h.sess.EnterIdle()
+	defer h.sess.ExitIdle()
+	for {
+		_, err := h.r.ReadSlice('\n')
+		if err == nil {
+			return nil
+		}
+		if err != bufio.ErrBufferFull {
+			return err
+		}
+	}
 }
 
 // readBody reads a storage command's n-byte data block plus its CRLF
@@ -363,21 +669,39 @@ func (h *connHandler) discardBody(n int) (bool, error) {
 }
 
 // flush drains the write buffer; a stalled client's backpressure is
-// absorbed in the idle state.
+// absorbed in the idle state (and bounded by the per-write deadline). A
+// full drain resets the reply-backlog budget and counts as activity for
+// the idle reaper.
 func (h *connHandler) flush() error {
 	if h.w.Buffered() == 0 {
+		h.backlog = 0
 		return nil
 	}
 	h.sess.EnterIdle()
 	defer h.sess.ExitIdle()
-	return h.w.Flush()
+	if err := h.w.Flush(); err != nil {
+		return err
+	}
+	h.backlog = 0
+	h.c.touch(h.srv.cfg.Clock())
+	return nil
 }
 
-// writeFull writes p to the response buffer. When p does not fit in the
-// buffer's free space, bufio flushes to the socket mid-Write; that flush
-// can block on a slow-reading client, so it must happen in the idle
-// state or a pending barrier would wait on this thread forever.
+// writeFull writes p to the response buffer, charging the reply-backlog
+// budget: past the budget it stops producing and forces a flush — a
+// reading client drains and resets the budget; one that stopped reading
+// blocks the flush into its write deadline and is disconnected. When p
+// does not fit in the buffer's free space, bufio flushes to the socket
+// mid-Write; that flush can block on a slow-reading client, so it must
+// happen in the idle state or a pending barrier would wait on this
+// thread forever (the per-write deadline bounds the block).
 func (h *connHandler) writeFull(p []byte) error {
+	if h.srv.cfg.MaxReplyBacklog > 0 && h.backlog+len(p) > h.srv.cfg.MaxReplyBacklog {
+		if err := h.flush(); err != nil {
+			return err
+		}
+	}
+	h.backlog += len(p)
 	if h.w.Available() >= len(p) {
 		_, err := h.w.Write(p)
 		return err
@@ -419,6 +743,10 @@ func (h *connHandler) dispatch(line string) (quit bool, err error) {
 		return false, h.doDelete(args)
 	case "touch":
 		return false, h.doTouch(args)
+	case "flush_all":
+		return false, h.doFlushAll(args)
+	case "verbosity":
+		return false, h.doVerbosity(args)
 	case "stats":
 		return false, h.doStats()
 	case "version":
@@ -528,17 +856,16 @@ func (h *connHandler) doStore(cmd string, args []string) error {
 		// Report and resync at the next newline, memcached-style. The
 		// error is flushed first and the resync read idles the session:
 		// a client that goes quiet here must neither wait on an
-		// unflushed reply nor stall stop-the-world barriers.
+		// unflushed reply nor stall stop-the-world barriers. The resync
+		// discards rather than buffers — the desynced remainder is
+		// client-controlled and may be huge.
 		if err := h.replyError(respBadChunk); err != nil {
 			return err
 		}
 		if err := h.flush(); err != nil {
 			return err
 		}
-		if _, err := h.readLine(); err != nil {
-			return err
-		}
-		return nil
+		return h.resyncLine()
 	}
 	resp, errLine, err := h.executeStore(cmd, sa, data)
 	if err != nil {
@@ -773,6 +1100,46 @@ func (h *connHandler) doDelete(args []string) error {
 	return h.reply(respNotFound)
 }
 
+// doFlushAll implements `flush_all [delay] [noreply]`: a store-wide
+// expiry epoch. Every value stored before now+delay is dead once the
+// clock reaches that moment, honored by the same lazy-expiry paths as
+// per-entry TTLs (plus one reclamation sweep by Maintain after the epoch
+// passes), so the command is O(1) regardless of item count.
+func (h *connHandler) doFlushAll(args []string) error {
+	delay, noreply, perr := parseFlushAll(args)
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	now := h.srv.cfg.Clock()
+	at := now
+	if delay > 0 {
+		// The delay follows the exptime rules: relative seconds up to 30
+		// days, an absolute unix timestamp beyond.
+		at = deadlineFor(delay, now)
+	}
+	h.srv.store.FlushAll(at)
+	h.srv.cmdFlush.Add(1)
+	if noreply {
+		return nil
+	}
+	return h.reply(respOK)
+}
+
+// doVerbosity implements `verbosity <level> [noreply]`. The level is
+// parsed for conformance but otherwise ignored — alaskad has no log
+// levels to switch — which matches how most memcached deployments treat
+// the command anyway.
+func (h *connHandler) doVerbosity(args []string) error {
+	_, noreply, perr := parseVerbosity(args)
+	if perr != nil {
+		return h.replyError(respBadFormat)
+	}
+	if noreply {
+		return nil
+	}
+	return h.reply(respOK)
+}
+
 // statLine is one `STAT name value` row.
 type statLine struct {
 	name  string
@@ -801,6 +1168,12 @@ func (s *Server) statLines() []statLine {
 		{"uptime_s", fmt.Sprintf("%.1f", uptime.Seconds())},
 		{"curr_connections", fmt.Sprintf("%d", s.currConns.Load())},
 		{"total_connections", fmt.Sprintf("%d", s.totalConns.Load())},
+		{"max_connections", fmt.Sprintf("%d", s.cfg.MaxConns)},
+		{"listen_disabled_num", fmt.Sprintf("%d", s.listenDisabled.Load())},
+		{"accept_errors", fmt.Sprintf("%d", s.acceptErrors.Load())},
+		{"idle_kicks", fmt.Sprintf("%d", s.idleKicks.Load())},
+		{"slow_client_kicks", fmt.Sprintf("%d", s.slowKicks.Load())},
+		{"cmd_flush", fmt.Sprintf("%d", s.cmdFlush.Load())},
 		{"cmd_get", fmt.Sprintf("%d", snap.Gets)},
 		{"cmd_set", fmt.Sprintf("%d", snap.Sets)},
 		{"get_hits", fmt.Sprintf("%d", snap.Hits)},

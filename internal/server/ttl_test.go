@@ -152,6 +152,58 @@ func TestTouchAndGatExtendMockClock(t *testing.T) {
 	})
 }
 
+// TestFlushAllDelayMockClock: the delayed flush_all form is an epoch in
+// the future — everything stored before the epoch (including values
+// stored *after the command* but before the epoch) dies exactly when the
+// clock reaches it; values stored after the epoch passes are untouched.
+func TestFlushAllDelayMockClock(t *testing.T) {
+	clk := newTestClock()
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", Clock: clk.Now}, func(t *testing.T, srv *Server) {
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.Set("old", 0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+		if err := cl.FlushAll(5); err != nil { // epoch = now+5s
+			t.Fatal(err)
+		}
+		// Pending flush: nothing dies yet.
+		if _, _, ok, err := cl.Get("old"); err != nil || !ok {
+			t.Fatalf("get before the flush epoch: ok=%v err=%v", ok, err)
+		}
+		clk.Advance(time.Second)
+		if err := cl.Set("mid", 0, []byte("w")); err != nil { // before the epoch: doomed too
+			t.Fatal(err)
+		}
+		clk.Advance(4 * time.Second) // the epoch arrives
+		if _, _, ok, err := cl.Get("old"); err != nil || ok {
+			t.Fatalf("old survived the flush epoch: ok=%v err=%v", ok, err)
+		}
+		if _, _, ok, err := cl.Get("mid"); err != nil || ok {
+			t.Fatalf("mid (stored before the epoch) survived: ok=%v err=%v", ok, err)
+		}
+		if err := cl.Set("new", 0, []byte("x")); err != nil { // after the epoch: safe
+			t.Fatal(err)
+		}
+		clk.Advance(time.Hour)
+		if v, _, ok, err := cl.Get("new"); err != nil || !ok || string(v) != "x" {
+			t.Fatalf("new damaged by the flush: %q ok=%v err=%v", v, ok, err)
+		}
+		// An immediate flush now kills it (the clock has moved since the
+		// store, so it sits strictly before the new epoch).
+		if err := cl.FlushAll(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok, err := cl.Get("new"); err != nil || ok {
+			t.Fatalf("new survived an immediate flush: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
 // TestExpirySweepServerSide proves dead values are reclaimed by the
 // background maintenance sweep alone — no client ever touches them
 // again after storing.
