@@ -433,4 +433,4 @@ func counterKeys(records int) int {
 	return n
 }
 
-func counterKey(i int) string { return "ctr" + fmt.Sprintf("%08d", i) }
+func counterKey(i int) string { return ycsb.FixedKey("ctr", uint64(i), 8) }

@@ -1,0 +1,297 @@
+// Command alaskad-bench is the tracked hot-path benchmark runner: it
+// boots an in-process alaskad on a loopback socket, drives the GET-hit,
+// GET-miss, SET, and pipelined-GET shapes through real TCP, and emits
+// BENCH_alaskad.json — ops/s, ns/op, B/op, allocs/op, and latency
+// percentiles per shape — so the repository carries a recorded
+// performance trajectory instead of anecdotes. The nightly CI job runs
+// it with -max-get-allocs 0, failing the build if the steady-state GET
+// path ever allocates again.
+//
+// Usage:
+//
+//	alaskad-bench -out BENCH_alaskad.json -ops 200000
+//	alaskad-bench -backend anchorage -value-size 1024
+//	alaskad-bench -max-get-allocs 0   # exit 1 on GET-hit allocs/op > 0
+//
+// Allocation accounting is process-wide (runtime.MemStats deltas over
+// the measured window, client and server both in-process), which is
+// exactly the property the zero-alloc request path promises: nothing in
+// the whole serve loop allocates once warm. An existing out file's
+// "baseline" block is preserved verbatim, so the pre-optimization
+// numbers stay in the file as the comparison anchor.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"alaska/internal/anchorage"
+	"alaska/internal/kv"
+	"alaska/internal/rt"
+	"alaska/internal/server"
+	"alaska/internal/stats"
+)
+
+// result is one benchmark shape's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_s"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	P999Us      float64 `json:"p999_us"`
+}
+
+// run is one full runner invocation's output.
+type run struct {
+	Note      string   `json:"note,omitempty"`
+	Generated string   `json:"generated"`
+	Commit    string   `json:"commit,omitempty"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Backend   string   `json:"backend"`
+	ValueSize int      `json:"value_bytes"`
+	Pipeline  int      `json:"pipeline_depth"`
+	Results   []result `json:"results"`
+}
+
+// file is the BENCH_alaskad.json layout: the pre-optimization baseline
+// is carried forward verbatim; "current" is replaced by each run.
+type file struct {
+	Schema   string          `json:"schema"`
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Current  run             `json:"current"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("alaskad-bench: ")
+	out := flag.String("out", "BENCH_alaskad.json", "output JSON path")
+	backendName := flag.String("backend", "malloc", "heap backend: malloc|mesh|anchorage")
+	ops := flag.Int("ops", 100000, "measured operations per shape")
+	valueSize := flag.Int("value-size", 512, "value payload bytes")
+	pipeline := flag.Int("pipeline", 32, "pipelined-GET burst depth")
+	note := flag.String("note", "", "free-form provenance note stored in the result")
+	commit := flag.String("commit", "", "commit id stored in the result")
+	maxGetAllocs := flag.Float64("max-get-allocs", -1, "fail (exit 1) if get_hit allocs/op exceeds this; negative disables")
+	flag.Parse()
+
+	var backend kv.Backend
+	switch *backendName {
+	case "malloc":
+		backend = kv.NewMallocBackend()
+	case "mesh":
+		backend = kv.NewMeshBackend(1)
+	case "anchorage":
+		ab, err := kv.NewAnchorageBackend(anchorage.DefaultConfig(), rt.WithPinMode(rt.CountedPins))
+		if err != nil {
+			log.Fatalf("anchorage backend: %v", err)
+		}
+		backend = ab
+	default:
+		log.Fatalf("unknown -backend %q", *backendName)
+	}
+
+	store := kv.NewShardedStore(backend, 8, 0)
+	srv := server.New(store, server.Config{
+		Addr:    "127.0.0.1:0",
+		Version: "bench",
+		// The maintenance goroutine stays almost silent so the per-op
+		// numbers measure the request path, not background sweeps.
+		MaintainInterval: time.Hour,
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Shutdown(2 * time.Second)
+
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, *valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	if err := cl.Set("bench:key", 7, val); err != nil {
+		log.Fatalf("prime: %v", err)
+	}
+
+	cur := run{
+		Note:      *note,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Commit:    *commit,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Backend:   *backendName,
+		ValueSize: *valueSize,
+		Pipeline:  *pipeline,
+	}
+
+	cur.Results = append(cur.Results, measure("get_hit", *ops, func() error {
+		_, _, ok, err := cl.Get("bench:key")
+		if err == nil && !ok {
+			return fmt.Errorf("unexpected miss")
+		}
+		return err
+	}))
+	cur.Results = append(cur.Results, measure("get_miss", *ops, func() error {
+		_, _, ok, err := cl.Get("bench:nosuchkey")
+		if err == nil && ok {
+			return fmt.Errorf("unexpected hit")
+		}
+		return err
+	}))
+	cur.Results = append(cur.Results, measure("set", *ops, func() error {
+		return cl.Set("bench:key", 7, val)
+	}))
+	cur.Results = append(cur.Results, measurePipelined(srv.Addr(), *ops, *pipeline, *valueSize))
+
+	for _, r := range cur.Results {
+		log.Printf("%-18s %9.0f ops/s  %8.0f ns/op  %7.1f B/op  %6.3f allocs/op  p99=%.1fµs",
+			r.Name, r.OpsPerSec, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.P99Us)
+	}
+
+	// Preserve an existing baseline block; the current block is replaced.
+	f := file{Schema: "alaskad-bench/v1", Current: cur}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old file
+		if json.Unmarshal(prev, &old) == nil && len(old.Baseline) > 0 {
+			f.Baseline = old.Baseline
+		}
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		log.Fatalf("write %s: %v", *out, err)
+	}
+	log.Printf("wrote %s", *out)
+
+	if *maxGetAllocs >= 0 {
+		for _, r := range cur.Results {
+			if r.Name == "get_hit" && r.AllocsPerOp > *maxGetAllocs {
+				log.Fatalf("REGRESSION: get_hit allocs/op = %.3f exceeds budget %.3f",
+					r.AllocsPerOp, *maxGetAllocs)
+			}
+		}
+	}
+}
+
+// measure runs op n times after a warmup, collecting wall-clock
+// latency per op and process-wide allocation deltas.
+func measure(name string, n int, op func() error) result {
+	for i := 0; i < 2000; i++ {
+		if err := op(); err != nil {
+			log.Fatalf("%s warmup: %v", name, err)
+		}
+	}
+	lat := stats.NewLatencyRecorder()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := op(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		lat.Record(time.Since(t0))
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return summarize(name, n, wall, &before, &after, lat, 1)
+}
+
+// measurePipelined writes bursts of depth pipelined gets per round trip
+// over a raw connection, the framing where per-op allocation hurts most.
+func measurePipelined(addr string, n, depth, valueSize int) result {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatalf("pipelined dial: %v", err)
+	}
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 64<<10)
+	w := bufio.NewWriterSize(c, 64<<10)
+	req := bytes.Repeat([]byte("get bench:key\r\n"), depth)
+	respLen := len(fmt.Sprintf("VALUE bench:key 7 %d\r\n", valueSize)) + valueSize + 2 + len("END\r\n")
+	resp := make([]byte, respLen*depth)
+	burst := func() error {
+		if _, err := w.Write(req); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for off := 0; off < len(resp); {
+			m, err := r.Read(resp[off:])
+			if err != nil {
+				return err
+			}
+			off += m
+		}
+		return nil
+	}
+	rounds := n / depth
+	if rounds < 1 {
+		rounds = 1
+	}
+	for i := 0; i < 100; i++ {
+		if err := burst(); err != nil {
+			log.Fatalf("pipelined warmup: %v", err)
+		}
+	}
+	lat := stats.NewLatencyRecorder()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		if err := burst(); err != nil {
+			log.Fatalf("pipelined: %v", err)
+		}
+		lat.Record(time.Since(t0))
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if !bytes.HasSuffix(resp, []byte("END\r\n")) {
+		log.Fatalf("pipelined: malformed trailing response %q", resp[len(resp)-16:])
+	}
+	// Latency was recorded per burst; per-op numbers divide by depth.
+	return summarize(fmt.Sprintf("get_pipelined%d", depth), rounds*depth, wall, &before, &after, lat, depth)
+}
+
+func summarize(name string, ops int, wall time.Duration, before, after *runtime.MemStats, lat *stats.LatencyRecorder, latDiv int) result {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 / float64(latDiv) }
+	return result{
+		Name:        name,
+		Ops:         ops,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(ops),
+		OpsPerSec:   float64(ops) / wall.Seconds(),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		P50Us:       us(lat.Percentile(50)),
+		P99Us:       us(lat.Percentile(99)),
+		P999Us:      us(lat.Percentile(99.9)),
+	}
+}

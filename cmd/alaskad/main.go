@@ -65,6 +65,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections with no completed command for this long; 0 = never")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "deadline per socket write; a client that stops reading its responses is disconnected; 0 = none")
 	replyBacklog := flag.String("max-reply-backlog", "64MiB", "reply bytes buffered for a non-reading client before disconnect")
+	padDecr := flag.Bool("space-padded-decr", false, "memcached-classic decr compatibility: right-pad shrinking decr results with spaces to the old value length")
 	maintain := flag.Duration("maintain-interval", 50*time.Millisecond, "background maintenance tick")
 	fragHigh := flag.Float64("defrag-frag-high", 1.3, "fragmentation threshold for pause-free concurrent passes (anchorage)")
 	budget := flag.String("defrag-budget", "1MiB", "bytes moved per concurrent defrag pass")
@@ -122,6 +123,7 @@ func main() {
 		IdleTimeout:      *idleTimeout,
 		WriteTimeout:     *writeTimeout,
 		MaxReplyBacklog:  int(maxBacklog),
+		SpacePaddedDecr:  *padDecr,
 	})
 	if err := srv.Listen(); err != nil {
 		log.Fatalf("listen: %v", err)

@@ -3,7 +3,6 @@ package kv
 import (
 	"container/list"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +13,13 @@ import (
 // mutex-protected shards, accessed by worker goroutines that each hold
 // their own Session (and, under Alaska, their own runtime thread with pin
 // sets and safepoints).
+//
+// The request path is allocation-free in steady state: keys arrive as
+// []byte slices into network buffers (GetInto, SetExBytes, ApplyInto)
+// and are interned to strings only when a brand-new entry is created;
+// value copy-out lands in caller-owned scratch buffers; an overwrite of
+// a live key reuses its entry and LRU node in place; and the per-shard
+// counters are atomics, so Snapshot never takes a shard lock.
 type ShardedStore struct {
 	backend Backend
 	shards  []*shard
@@ -32,6 +38,69 @@ type ShardedStore struct {
 	flushAt atomic.Int64
 }
 
+// shardCounters are the per-shard operation counters, all atomics:
+// writers bump them while already holding the shard lock for the data,
+// but readers (Snapshot, the stats command under load) never have to
+// take that lock — hot-path counting never waits on a stats poll.
+type shardCounters struct {
+	sets, gets               atomic.Int64
+	hits, misses             atomic.Int64
+	deleteHits, deleteMisses atomic.Int64
+	evictions, expired       atomic.Int64
+	casHits                  atomic.Int64
+	casBadval, casMisses     atomic.Int64
+	incrHits, incrMisses     atomic.Int64
+	decrHits, decrMisses     atomic.Int64
+	touchHits, touchMisses   atomic.Int64
+	keys                     atomic.Int64
+}
+
+// bump increments the counter named by stat.
+func (c *shardCounters) bump(stat RMWStat) {
+	switch stat {
+	case StatCasHit:
+		c.casHits.Add(1)
+	case StatCasBadval:
+		c.casBadval.Add(1)
+	case StatCasMiss:
+		c.casMisses.Add(1)
+	case StatIncrHit:
+		c.incrHits.Add(1)
+	case StatIncrMiss:
+		c.incrMisses.Add(1)
+	case StatDecrHit:
+		c.decrHits.Add(1)
+	case StatDecrMiss:
+		c.decrMisses.Add(1)
+	case StatTouchHit:
+		c.touchHits.Add(1)
+	case StatTouchMiss:
+		c.touchMisses.Add(1)
+	}
+}
+
+// addTo folds the counters into a snapshot.
+func (c *shardCounters) addTo(out *StatsSnapshot) {
+	out.Sets += c.sets.Load()
+	out.Gets += c.gets.Load()
+	out.Hits += c.hits.Load()
+	out.Misses += c.misses.Load()
+	out.DeleteHits += c.deleteHits.Load()
+	out.DeleteMisses += c.deleteMisses.Load()
+	out.Evictions += c.evictions.Load()
+	out.Expired += c.expired.Load()
+	out.CasHits += c.casHits.Load()
+	out.CasBadval += c.casBadval.Load()
+	out.CasMisses += c.casMisses.Load()
+	out.IncrHits += c.incrHits.Load()
+	out.IncrMisses += c.incrMisses.Load()
+	out.DecrHits += c.decrHits.Load()
+	out.DecrMisses += c.decrMisses.Load()
+	out.TouchHits += c.touchHits.Load()
+	out.TouchMisses += c.touchMisses.Load()
+	out.Keys += int(c.keys.Load())
+}
+
 type shard struct {
 	mu    sync.Mutex
 	index map[string]*entry
@@ -40,7 +109,7 @@ type shard struct {
 	// ttl counts live entries carrying a deadline, so the sweep can skip
 	// the shard outright for TTL-free workloads.
 	ttl   int
-	stats StatsSnapshot // per-shard counters, aggregated by Snapshot
+	stats shardCounters
 	// flushedFor is the flush_all epoch this shard has been fully swept
 	// for, so each flush costs exactly one full scan per shard.
 	flushedFor int64
@@ -94,10 +163,25 @@ func (s *ShardedStore) now() time.Time {
 	return time.Now()
 }
 
+// FNV-1a, inlined: hashing a key must not construct a hash.Hash32 or
+// convert the key to a fresh []byte — on the request path every get and
+// set passes through here.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 func (s *ShardedStore) shardFor(key string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return s.shardForB(unsafeKeyBytes(key))
+}
+
+func (s *ShardedStore) shardForB(key []byte) *shard {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // removeLocked frees e's storage and unlinks it. Caller holds sh.mu.
@@ -106,6 +190,7 @@ func (s *ShardedStore) removeLocked(sh *shard, e *entry) {
 	_ = s.backend.Free(e.ref, e.size)
 	sh.lru.Remove(e.el)
 	delete(sh.index, e.key)
+	sh.stats.keys.Add(-1)
 	if !e.expireAt.IsZero() {
 		sh.ttl--
 	}
@@ -129,36 +214,51 @@ func (s *ShardedStore) deadAt(e *entry, now time.Time) bool {
 // untouched. O(1) no matter how many items are live.
 func (s *ShardedStore) FlushAll(at time.Time) { s.flushAt.Store(at.UnixNano()) }
 
-// lookupLocked returns key's entry after lazy expiry: an entry whose
-// deadline has passed (or that sits behind a reached flush_all epoch) is
+// liveLocked applies lazy expiry to a looked-up entry: a dead one is
 // reclaimed on the spot (counted in Expired) and reported absent —
 // memcached's expire-on-access. Caller holds sh.mu.
-func (s *ShardedStore) lookupLocked(sh *shard, key string, now time.Time) (*entry, bool) {
-	e, ok := sh.index[key]
+func (s *ShardedStore) liveLocked(sh *shard, e *entry, ok bool, now time.Time) (*entry, bool) {
 	if !ok {
 		return nil, false
 	}
 	if s.deadAt(e, now) {
 		s.removeLocked(sh, e)
-		sh.stats.Expired++
+		sh.stats.expired.Add(1)
 		return nil, false
 	}
 	return e, true
 }
 
-// insertLocked allocates, writes, and links a fresh entry, replacing any
-// survivor under key. Room is made first: LRU entries are evicted until
-// the new value fits, with the replaced entry's bytes discounted (an
-// in-place overwrite needs no net room) but its removal deferred until
-// the new value is durably written, so a failed store leaves the
-// previous value intact. The old entry is re-looked-up each round (and
-// again after the write) because the eviction walk may evict it. Caller
-// holds sh.mu.
-func (s *ShardedStore) insertLocked(sh *shard, sess Session, key string, value []byte, expireAt time.Time) error {
+// lookupLocked returns key's entry after lazy expiry. Caller holds sh.mu.
+func (s *ShardedStore) lookupLocked(sh *shard, key string, now time.Time) (*entry, bool) {
+	e, ok := sh.index[key]
+	return s.liveLocked(sh, e, ok, now)
+}
+
+// lookupLockedB is lookupLocked for a byte-slice key; the map access
+// compiles to a no-copy lookup. Caller holds sh.mu.
+func (s *ShardedStore) lookupLockedB(sh *shard, key []byte, now time.Time) (*entry, bool) {
+	e, ok := sh.index[string(key)]
+	return s.liveLocked(sh, e, ok, now)
+}
+
+// insertLocked allocates, writes, and links key's new value. Room is
+// made first: LRU entries are evicted until the new value fits, with the
+// replaced entry's bytes discounted (an in-place overwrite needs no net
+// room) but its removal deferred until the new value is durably written,
+// so a failed store leaves the previous value intact. The old entry is
+// re-looked-up each round (and again after the write) because the
+// eviction walk may evict it.
+//
+// An overwrite of a surviving entry is performed in place — the entry
+// struct, its LRU node, and its interned key string are all reused — so
+// the steady-state set path allocates nothing; only a brand-new key
+// interns a string and links fresh nodes. Caller holds sh.mu.
+func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value []byte, expireAt time.Time) error {
 	if s.MaxMemoryPerShard > 0 {
 		for {
 			used := sh.used
-			if old, ok := sh.index[key]; ok {
+			if old, ok := sh.index[string(key)]; ok {
 				used -= old.size
 			}
 			if used+uint64(len(value)) <= s.MaxMemoryPerShard {
@@ -169,23 +269,33 @@ func (s *ShardedStore) insertLocked(sh *shard, sess Session, key string, value [
 				break
 			}
 			s.removeLocked(sh, back.Value.(*entry))
-			sh.stats.Evictions++
+			sh.stats.evictions.Add(1)
 		}
 	}
 	ref, err := s.backend.Alloc(uint64(len(value)))
 	if err != nil {
-		return fmt.Errorf("kv: sharded store %q: %w", key, err)
+		return fmt.Errorf("kv: sharded store %q: %w", string(key), err)
 	}
 	if err := sess.Write(ref, 0, value); err != nil {
 		_ = s.backend.Free(ref, uint64(len(value)))
 		return err
 	}
-	if old, ok := sh.index[key]; ok {
-		s.removeLocked(sh, old)
+	if old, ok := sh.index[string(key)]; ok {
+		// In-place overwrite: free the replaced bytes, rewrite the entry.
+		sh.used -= old.size
+		_ = s.backend.Free(old.ref, old.size)
+		old.ref = ref
+		old.size = uint64(len(value))
+		old.storedAt = s.now()
+		sh.setDeadline(old, expireAt)
+		sh.lru.MoveToFront(old.el)
+		sh.used += old.size
+		return nil
 	}
-	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt, storedAt: s.now()}
+	e := &entry{key: string(key), ref: ref, size: uint64(len(value)), expireAt: expireAt, storedAt: s.now()}
 	e.el = sh.lru.PushFront(e)
-	sh.index[key] = e
+	sh.index[e.key] = e
+	sh.stats.keys.Add(1)
 	sh.used += e.size
 	if !expireAt.IsZero() {
 		sh.ttl++
@@ -213,11 +323,22 @@ func (s *ShardedStore) SetWith(sess Session, key string, value []byte, mode SetM
 // counts as absent — `add` succeeds over a dead value, `replace` does
 // not revive one.
 func (s *ShardedStore) SetEx(sess Session, key string, value []byte, mode SetMode, expireAt time.Time) (bool, error) {
-	sh := s.shardFor(key)
+	return s.setEx(sess, s.shardFor(key), unsafeKeyBytes(key), value, mode, expireAt)
+}
+
+// SetExBytes is SetEx for a key arriving as bytes out of a network
+// buffer: the key is interned to a string only if a brand-new entry is
+// created. The caller may reuse both key and value the moment the call
+// returns (the store copies the value into its heap under the lock).
+func (s *ShardedStore) SetExBytes(sess Session, key, value []byte, mode SetMode, expireAt time.Time) (bool, error) {
+	return s.setEx(sess, s.shardForB(key), key, value, mode, expireAt)
+}
+
+func (s *ShardedStore) setEx(sess Session, sh *shard, key, value []byte, mode SetMode, expireAt time.Time) (bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.stats.Sets++
-	_, exists := s.lookupLocked(sh, key, s.now())
+	sh.stats.sets.Add(1)
+	_, exists := s.lookupLockedB(sh, key, s.now())
 	switch mode {
 	case SetAdd:
 		if exists {
@@ -241,24 +362,35 @@ func (s *ShardedStore) SetEx(sess Session, key string, value []byte, mode SetMod
 // read through the write-back, so a concurrent set/delete/defrag pass can
 // never interleave: this is the primitive behind cas, incr/decr, and
 // append/prepend, and the access pattern most exposed to a concurrent
-// mover. fn must be fast and must not call back into the store.
+// mover. fn must be fast and must not call back into the store. The old
+// slice is only valid for the duration of fn.
 func (s *ShardedStore) Apply(sess Session, key string, fn func(old []byte, found bool) ApplyOp) error {
-	return s.apply(sess, key, true, fn)
+	_, err := s.apply(sess, s.shardFor(key), unsafeKeyBytes(key), true, nil, fn)
+	return err
 }
 
-// apply is Apply with the value copy-out optional: Touch's callback never
-// looks at the bytes, so it skips the read entirely (a touch of a large
-// value must not copy it under the shard lock).
-func (s *ShardedStore) apply(sess Session, key string, needValue bool, fn func(old []byte, found bool) ApplyOp) error {
-	sh := s.shardFor(key)
+// ApplyInto is Apply for a byte-slice key, with the old-value copy-out
+// landing in the caller's scratch buffer instead of a fresh allocation.
+// It returns the (possibly grown) scratch for the caller to keep for the
+// next call; fn's ApplyOp.Value may alias that scratch. A nil scratch is
+// fine — the first call sizes it.
+func (s *ShardedStore) ApplyInto(sess Session, key []byte, scratch []byte, fn func(old []byte, found bool) ApplyOp) ([]byte, error) {
+	return s.apply(sess, s.shardForB(key), key, true, scratch, fn)
+}
+
+// apply is the shared RMW core; needValue false skips the copy-out
+// (Touch's callback never looks at the bytes — a touch of a large value
+// must not copy it under the shard lock).
+func (s *ShardedStore) apply(sess Session, sh *shard, key []byte, needValue bool, scratch []byte, fn func(old []byte, found bool) ApplyOp) ([]byte, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, found := s.lookupLocked(sh, key, s.now())
+	e, found := s.lookupLockedB(sh, key, s.now())
 	var old []byte
 	if found && needValue {
-		old = make([]byte, e.size)
+		scratch = growBytes(scratch, int(e.size))
+		old = scratch[:e.size]
 		if err := sess.Read(e.ref, 0, old); err != nil {
-			return err
+			return scratch, err
 		}
 	}
 	op := fn(old, found)
@@ -282,13 +414,13 @@ func (s *ShardedStore) apply(sess Session, key string, needValue bool, fn func(o
 			expire = e.expireAt
 		}
 		if err := s.insertLocked(sh, sess, key, op.Value, expire); err != nil {
-			return err
+			return scratch, err
 		}
 	default:
-		return fmt.Errorf("kv: apply %q: bad verdict %d", key, op.Verdict)
+		return scratch, fmt.Errorf("kv: apply %q: bad verdict %d", string(key), op.Verdict)
 	}
 	sh.stats.bump(op.Stat)
-	return nil
+	return scratch, nil
 }
 
 // CompareAndSwap stores next only if the current value is byte-equal to
@@ -302,76 +434,122 @@ func (s *ShardedStore) CompareAndSwap(sess Session, key string, expected, next [
 }
 
 // Touch replaces key's expiry deadline (zero = never expires), reporting
-// whether the key was present and alive. Implemented over Apply so the
+// whether the key was present and alive. Implemented over apply so the
 // touch semantics live in exactly one place per store.
 func (s *ShardedStore) Touch(sess Session, key string, expireAt time.Time) (found bool, err error) {
-	err = s.apply(sess, key, false, touchApply(expireAt, &found))
+	_, err = s.apply(sess, s.shardFor(key), unsafeKeyBytes(key), false, nil, touchApply(expireAt, &found))
+	return found, err
+}
+
+// TouchBytes is Touch for a byte-slice key.
+func (s *ShardedStore) TouchBytes(sess Session, key []byte, expireAt time.Time) (found bool, err error) {
+	_, err = s.apply(sess, s.shardForB(key), key, false, nil, touchApply(expireAt, &found))
 	return found, err
 }
 
 // Get reads key through the worker's session; nil if absent or expired.
-//
-// The copy-out happens under the shard lock: with `delete` (and same-key
-// `set`, which frees the old value) now arriving from untrusted network
-// clients, a reference held outside the lock could be freed — and its
-// block recycled to another key — mid-read, silently returning another
-// object's bytes. Holding the lock for the copy is the memcached
-// item-reference discipline reduced to its simplest correct form; under
-// Alaska the session additionally pins the handle so a concurrent
-// relocation pass cannot move the object mid-copy.
+// The returned slice is freshly allocated and owned by the caller; the
+// allocation-free variant is GetInto.
 func (s *ShardedStore) Get(sess Session, key string) ([]byte, error) {
-	return s.get(sess, key, false, time.Time{})
+	v, hit, err := s.getInto(sess, s.shardFor(key), unsafeKeyBytes(key), false, time.Time{}, nil)
+	if !hit {
+		return nil, err
+	}
+	if v == nil {
+		v = emptyValue // zero-length hit must stay distinguishable from a miss
+	}
+	return v, err
 }
 
 // GetAndTouch is Get plus a deadline update on a hit, as one critical
 // section (memcached `gat`/`gats`). It bumps both the get and the touch
 // counters, like memcached.
 func (s *ShardedStore) GetAndTouch(sess Session, key string, expireAt time.Time) ([]byte, error) {
-	return s.get(sess, key, true, expireAt)
+	v, hit, err := s.getInto(sess, s.shardFor(key), unsafeKeyBytes(key), true, expireAt, nil)
+	if !hit {
+		return nil, err
+	}
+	if v == nil {
+		v = emptyValue
+	}
+	return v, err
 }
 
-func (s *ShardedStore) get(sess Session, key string, touch bool, expireAt time.Time) ([]byte, error) {
-	sh := s.shardFor(key)
+// GetInto reads key's value into the caller's scratch buffer, growing it
+// only when the value doesn't fit: the copy-out from the shard-lock
+// critical section lands directly in a buffer the caller reuses across
+// requests, so a cache hit allocates nothing. It returns the value
+// (aliasing buf's storage), whether the key was present, and any read
+// error. The value is only valid until the caller's next use of buf.
+func (s *ShardedStore) GetInto(sess Session, key []byte, buf []byte) ([]byte, bool, error) {
+	return s.getInto(sess, s.shardForB(key), key, false, time.Time{}, buf)
+}
+
+// GetAndTouchInto is GetInto plus a deadline update on a hit.
+func (s *ShardedStore) GetAndTouchInto(sess Session, key []byte, expireAt time.Time, buf []byte) ([]byte, bool, error) {
+	return s.getInto(sess, s.shardForB(key), key, true, expireAt, buf)
+}
+
+// getInto is the copy-out core shared by every retrieval path.
+//
+// The copy-out happens under the shard lock: with `delete` (and same-key
+// `set`, which frees the old value) arriving from untrusted network
+// clients, a reference held outside the lock could be freed — and its
+// block recycled to another key — mid-read, silently returning another
+// object's bytes. Holding the lock for the copy is the memcached
+// item-reference discipline reduced to its simplest correct form; under
+// Alaska the session additionally pins the handle so a concurrent
+// relocation pass cannot move the object mid-copy.
+func (s *ShardedStore) getInto(sess Session, sh *shard, key []byte, touch bool, expireAt time.Time, buf []byte) ([]byte, bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.stats.Gets++
-	e, ok := s.lookupLocked(sh, key, s.now())
+	sh.stats.gets.Add(1)
+	e, ok := s.lookupLockedB(sh, key, s.now())
 	if !ok {
-		sh.stats.Misses++
+		sh.stats.misses.Add(1)
 		if touch {
-			sh.stats.TouchMisses++
+			sh.stats.touchMisses.Add(1)
 		}
-		return nil, nil
+		return buf, false, nil
 	}
-	sh.stats.Hits++
+	sh.stats.hits.Add(1)
 	sh.lru.MoveToFront(e.el)
-	buf := make([]byte, e.size)
-	if err := sess.Read(e.ref, 0, buf); err != nil {
-		return nil, err
+	buf = growBytes(buf, int(e.size))
+	out := buf[:e.size]
+	if err := sess.Read(e.ref, 0, out); err != nil {
+		return buf, false, err
 	}
 	// The deadline moves only after the read succeeded: a failed gat
 	// must not extend — or, with a negative exptime, destroy — a value
 	// the client never received.
 	if touch {
-		sh.stats.TouchHits++
+		sh.stats.touchHits.Add(1)
 		sh.setDeadline(e, expireAt)
 	}
-	return buf, nil
+	return out, true, nil
 }
 
 // Del removes key through the worker's session, reporting whether it
 // existed. A dead (expired) entry is reclaimed but reported as a miss,
 // like memcached's delete of an expired item.
 func (s *ShardedStore) Del(sess Session, key string) (bool, error) {
-	sh := s.shardFor(key)
+	return s.del(s.shardFor(key), unsafeKeyBytes(key))
+}
+
+// DelBytes is Del for a byte-slice key.
+func (s *ShardedStore) DelBytes(sess Session, key []byte) (bool, error) {
+	return s.del(s.shardForB(key), key)
+}
+
+func (s *ShardedStore) del(sh *shard, key []byte) (bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, ok := s.lookupLocked(sh, key, s.now())
+	e, ok := s.lookupLockedB(sh, key, s.now())
 	if !ok {
-		sh.stats.DeleteMisses++
+		sh.stats.deleteMisses.Add(1)
 		return false, nil
 	}
-	sh.stats.DeleteHits++
+	sh.stats.deleteHits.Add(1)
 	s.removeLocked(sh, e)
 	return true, nil
 }
@@ -399,7 +577,7 @@ func (s *ShardedStore) SweepExpired(budget int) int {
 			for _, e := range sh.index {
 				if s.deadAt(e, now) {
 					s.removeLocked(sh, e)
-					sh.stats.Expired++
+					sh.stats.expired.Add(1)
 					reclaimed++
 				}
 			}
@@ -421,7 +599,7 @@ func (s *ShardedStore) SweepExpired(budget int) int {
 			scanned++
 			if s.deadAt(e, now) {
 				s.removeLocked(sh, e)
-				sh.stats.Expired++
+				sh.stats.expired.Add(1)
 				reclaimed++
 			}
 		}
@@ -443,40 +621,19 @@ func (s *ShardedStore) Maintain(now time.Duration) time.Duration {
 func (s *ShardedStore) Len() int {
 	n := 0
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		n += len(sh.index)
-		sh.mu.Unlock()
+		n += int(sh.stats.keys.Load())
 	}
 	return n
 }
 
 // Snapshot aggregates the per-shard counters with the backend's memory
-// metrics. Counters are read under each shard's lock in turn, so the
-// result is per-shard consistent (not a global atomic cut — the same
-// guarantee memcached's `stats` gives).
+// metrics. The counters are atomics, so the aggregation takes no shard
+// lock and never stalls the request path; the result is a relaxed cut —
+// the same guarantee memcached's `stats` gives.
 func (s *ShardedStore) Snapshot() StatsSnapshot {
 	var out StatsSnapshot
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		out.Sets += sh.stats.Sets
-		out.Gets += sh.stats.Gets
-		out.Hits += sh.stats.Hits
-		out.Misses += sh.stats.Misses
-		out.DeleteHits += sh.stats.DeleteHits
-		out.DeleteMisses += sh.stats.DeleteMisses
-		out.Evictions += sh.stats.Evictions
-		out.Expired += sh.stats.Expired
-		out.CasHits += sh.stats.CasHits
-		out.CasBadval += sh.stats.CasBadval
-		out.CasMisses += sh.stats.CasMisses
-		out.IncrHits += sh.stats.IncrHits
-		out.IncrMisses += sh.stats.IncrMisses
-		out.DecrHits += sh.stats.DecrHits
-		out.DecrMisses += sh.stats.DecrMisses
-		out.TouchHits += sh.stats.TouchHits
-		out.TouchMisses += sh.stats.TouchMisses
-		out.Keys += len(sh.index)
-		sh.mu.Unlock()
+		sh.stats.addTo(&out)
 	}
 	out.ExpirySweeps = s.sweeps.Load()
 	out.Used = s.backend.UsedBytes()

@@ -1,0 +1,38 @@
+package kv
+
+import "unsafe"
+
+// This file holds the two tiny helpers the allocation-free request path
+// is built on: scratch-buffer growth and the string→[]byte view that
+// lets the legacy string-keyed API share the byte-keyed core.
+
+// growBytes returns a slice of length n, reusing b's storage when it is
+// large enough and allocating (with headroom, so jittered value sizes
+// converge instead of reallocating every near-miss) when it is not.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	c := 2 * cap(b)
+	if c < n {
+		c = n
+	}
+	return make([]byte, n, c)
+}
+
+// unsafeKeyBytes views a string's bytes as a []byte without copying.
+// The result must never be written through — every core path only
+// hashes the key, looks it up in a map, or re-interns it with an
+// explicit string(key) copy — and must not outlive the string. It
+// exists so the string-keyed wrappers (Get, SetEx, Apply, …) reuse the
+// byte-keyed hot path without paying a conversion allocation per call.
+func unsafeKeyBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// emptyValue keeps zero-length hits distinguishable from misses on the
+// nil-means-miss legacy Get surface.
+var emptyValue = []byte{}

@@ -186,19 +186,35 @@ func (s *Store) insert(key string, value []byte, expireAt time.Time) error {
 
 // Get returns a copy of key's value, or nil if absent or expired.
 func (s *Store) Get(key string) ([]byte, error) {
+	v, hit, err := s.GetInto(key, nil)
+	if !hit {
+		return nil, err
+	}
+	if v == nil {
+		v = emptyValue // zero-length hit must stay distinguishable from a miss
+	}
+	return v, err
+}
+
+// GetInto reads key's value into the caller's scratch buffer, growing
+// it only when the value doesn't fit — the allocation-free read path
+// (see ShardedStore.GetInto). It returns the value (aliasing buf's
+// storage), whether the key was present, and any read error.
+func (s *Store) GetInto(key string, buf []byte) ([]byte, bool, error) {
 	s.Gets++
 	e, ok := s.lookup(key)
 	if !ok {
 		s.Misses++
-		return nil, nil
+		return buf, false, nil
 	}
 	s.Hits++
-	buf := make([]byte, e.size)
-	if err := s.session.Read(e.ref, 0, buf); err != nil {
-		return nil, err
+	buf = growBytes(buf, int(e.size))
+	out := buf[:e.size]
+	if err := s.session.Read(e.ref, 0, out); err != nil {
+		return buf, false, err
 	}
 	s.lru.MoveToFront(e.el)
-	return buf, nil
+	return out, true, nil
 }
 
 // Del removes key, returning whether it existed (a dead entry is
@@ -220,18 +236,32 @@ func (s *Store) Del(key string) (bool, error) {
 // lock to hold, but the same decision surface so the protocol layer can
 // target either store.
 func (s *Store) Apply(key string, fn func(old []byte, found bool) ApplyOp) error {
-	return s.apply(key, true, fn)
+	_, err := s.applyInto(key, true, nil, fn)
+	return err
+}
+
+// ApplyInto is Apply with the old-value copy-out landing in the
+// caller's scratch buffer instead of a fresh allocation; it returns the
+// (possibly grown) scratch for reuse (see ShardedStore.ApplyInto).
+func (s *Store) ApplyInto(key string, scratch []byte, fn func(old []byte, found bool) ApplyOp) ([]byte, error) {
+	return s.applyInto(key, true, scratch, fn)
 }
 
 // apply is Apply with the value copy-out optional (Touch never looks at
 // the bytes).
 func (s *Store) apply(key string, needValue bool, fn func(old []byte, found bool) ApplyOp) error {
+	_, err := s.applyInto(key, needValue, nil, fn)
+	return err
+}
+
+func (s *Store) applyInto(key string, needValue bool, scratch []byte, fn func(old []byte, found bool) ApplyOp) ([]byte, error) {
 	e, found := s.lookup(key)
 	var old []byte
 	if found && needValue {
-		old = make([]byte, e.size)
+		scratch = growBytes(scratch, int(e.size))
+		old = scratch[:e.size]
 		if err := s.session.Read(e.ref, 0, old); err != nil {
-			return err
+			return scratch, err
 		}
 	}
 	op := fn(old, found)
@@ -253,13 +283,13 @@ func (s *Store) apply(key string, needValue bool, fn func(old []byte, found bool
 			expire = e.expireAt
 		}
 		if err := s.insert(key, op.Value, expire); err != nil {
-			return err
+			return scratch, err
 		}
 	default:
-		return fmt.Errorf("kv: apply %q: bad verdict %d", key, op.Verdict)
+		return scratch, fmt.Errorf("kv: apply %q: bad verdict %d", key, op.Verdict)
 	}
 	s.rmw.bump(op.Stat)
-	return nil
+	return scratch, nil
 }
 
 // CompareAndSwap stores next only if the current value is byte-equal to

@@ -1,0 +1,144 @@
+//go:build !race
+
+package server
+
+// Allocation guards: the request path must be allocation-free per op in
+// steady state on the malloc backend. These tests drive the real
+// handler — bounded line reader, zero-alloc tokenizer, byte parsers,
+// kv read-into/in-place-store, response serialization, and the lock-free
+// latency recorder — over an in-memory reader/writer, and pin GET-hit
+// and SET steady state at exactly 0 allocs/op with testing.AllocsPerRun.
+// (Excluded under -race: the detector's instrumentation allocates.)
+//
+// CI note: a regression here fails `go test ./internal/server`, and the
+// nightly bench job additionally fails if cmd/alaskad-bench measures a
+// nonzero steady-state GET allocation rate over real sockets.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"alaska/internal/kv"
+)
+
+// guardHandler builds a connHandler over in-memory I/O on a fresh
+// malloc-backed store — the full dispatch path with no socket.
+func guardHandler() (*connHandler, *bytes.Reader) {
+	store := kv.NewShardedStore(kv.NewMallocBackend(), 8, 0)
+	srv := New(store, Config{Version: "guard", MaxReplyBacklog: -1})
+	src := bytes.NewReader(nil)
+	h := &connHandler{
+		srv:  srv,
+		c:    &conn{clock: srv.cfg.Clock},
+		sess: store.NewSession(),
+		r:    bufio.NewReaderSize(src, 16<<10),
+		w:    bufio.NewWriterSize(io.Discard, 64<<10),
+	}
+	return h, src
+}
+
+// runCommand feeds one pre-built request through the handler exactly as
+// the serve loop would: reset the source, read the line, dispatch, and
+// record latency. The write buffer is reset instead of flushed so the
+// measurement covers the server path, not io.Discard.
+func runCommand(tb testing.TB, h *connHandler, src *bytes.Reader, req []byte) {
+	src.Reset(req)
+	h.r.Reset(src)
+	start := time.Now()
+	line, err := h.readLine()
+	if err != nil {
+		tb.Fatalf("readLine: %v", err)
+	}
+	if _, err := h.dispatch(line); err != nil {
+		tb.Fatalf("dispatch: %v", err)
+	}
+	h.srv.lat.Record(time.Since(start))
+	h.w.Reset(io.Discard)
+	h.backlog = 0
+}
+
+func TestAllocFreeGetHit(t *testing.T) {
+	h, src := guardHandler()
+	set := []byte("set bench:key 7 0 512\r\n" + string(bytes.Repeat([]byte{'v'}, 512)) + "\r\n")
+	get := []byte("get bench:key\r\n")
+	runCommand(t, h, src, set)
+	// Warm the connection-owned scratch buffers to steady state.
+	for i := 0; i < 8; i++ {
+		runCommand(t, h, src, get)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		runCommand(t, h, src, get)
+	})
+	if avg != 0 {
+		t.Fatalf("GET hit allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+func TestAllocFreeSetSteadyState(t *testing.T) {
+	h, src := guardHandler()
+	set := []byte("set bench:key 7 0 512\r\n" + string(bytes.Repeat([]byte{'v'}, 512)) + "\r\n")
+	for i := 0; i < 8; i++ {
+		runCommand(t, h, src, set)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		runCommand(t, h, src, set)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state SET allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocFreeGetMiss pins the miss path too: a keyspace scan of cold
+// keys must not churn the allocator either.
+func TestAllocFreeGetMiss(t *testing.T) {
+	h, src := guardHandler()
+	get := []byte("get no:such:key\r\n")
+	for i := 0; i < 8; i++ {
+		runCommand(t, h, src, get)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		runCommand(t, h, src, get)
+	})
+	if avg != 0 {
+		t.Fatalf("GET miss allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestAllocFreePipelinedMixed runs the realistic interleaving — set,
+// get, delete-miss, multi-key get — as one pipelined batch per
+// iteration, covering the tokenizer's multi-command reuse.
+func TestAllocFreePipelinedMixed(t *testing.T) {
+	h, src := guardHandler()
+	val := string(bytes.Repeat([]byte{'x'}, 64))
+	batch := []byte(
+		"set a 1 0 64\r\n" + val + "\r\n" +
+			"set b 2 0 64\r\n" + val + "\r\n" +
+			"get a b\r\n" +
+			"delete nosuch\r\n" +
+			"gets a\r\n")
+	runBatch := func() {
+		src.Reset(batch)
+		h.r.Reset(src)
+		for cmds := 0; cmds < 5; cmds++ {
+			line, err := h.readLine()
+			if err != nil {
+				t.Fatalf("readLine: %v", err)
+			}
+			if _, err := h.dispatch(line); err != nil {
+				t.Fatalf("dispatch: %v", err)
+			}
+		}
+		h.w.Reset(io.Discard)
+		h.backlog = 0
+	}
+	for i := 0; i < 8; i++ {
+		runBatch()
+	}
+	avg := testing.AllocsPerRun(100, runBatch)
+	if avg != 0 {
+		t.Fatalf("pipelined mixed batch allocates %.2f allocs/batch in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,167 @@
+package server
+
+// Loopback hot-path benchmarks: GET hits, SET steady state, and
+// pipelined GET bursts over a real TCP connection on the malloc backend
+// (so the numbers isolate the request path from defrag machinery). All
+// benchmarks ReportAllocs — together with the AllocsPerRun guards in
+// alloc_guard_test.go these are the tracked evidence that the request
+// path stays allocation-free per op. cmd/alaskad-bench re-runs the same
+// shapes and emits BENCH_alaskad.json for the recorded trajectory.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"alaska/internal/kv"
+)
+
+// benchServer boots a malloc-backed loopback server tuned for
+// measurement: maintenance slowed to a crawl so the background goroutine
+// doesn't perturb per-op numbers.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	store := kv.NewShardedStore(kv.NewMallocBackend(), 8, 0)
+	srv := New(store, Config{
+		Addr:             "127.0.0.1:0",
+		Version:          "bench",
+		MaintainInterval: time.Hour,
+	})
+	if err := srv.Listen(); err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	b.Cleanup(func() { _ = srv.Shutdown(2 * time.Second) })
+	return srv
+}
+
+func benchValue(n int) []byte {
+	val := make([]byte, n)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	return val
+}
+
+func BenchmarkLoopbackGetHit(b *testing.B) {
+	srv := benchServer(b)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	val := benchValue(512)
+	if err := cl.Set("bench:key", 7, val); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, ok, err := cl.Get("bench:key")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok || len(v) != len(val) {
+			b.Fatalf("get: ok=%v len=%d", ok, len(v))
+		}
+	}
+}
+
+func BenchmarkLoopbackSet(b *testing.B) {
+	srv := benchServer(b)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	val := benchValue(512)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Set("bench:key", 7, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackGetPipelined issues bursts of 32 pipelined gets per
+// round trip — the framing the server answers with one flush, and the
+// shape where per-op allocation hurts most (no socket wait to hide it).
+func BenchmarkLoopbackGetPipelined(b *testing.B) {
+	const burst = 32
+	srv := benchServer(b)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	val := benchValue(512)
+	if err := cl.Set("bench:key", 7, val); err != nil {
+		b.Fatal(err)
+	}
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 64<<10)
+	w := bufio.NewWriterSize(c, 64<<10)
+	req := bytes.Repeat([]byte("get bench:key\r\n"), burst)
+	// One response: VALUE header + 512 bytes + CRLF + END.
+	respLen := len(fmt.Sprintf("VALUE bench:key 7 %d\r\n", len(val))) + len(val) + 2 + len("END\r\n")
+	resp := make([]byte, respLen*burst)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(val) * burst))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(resp); {
+			n, err := r.Read(resp[off:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += n
+		}
+	}
+	b.StopTimer()
+	if !bytes.HasSuffix(resp, []byte("END\r\n")) {
+		b.Fatalf("unexpected trailing response: %q", resp[len(resp)-32:])
+	}
+}
+
+// BenchmarkLoopbackSetGet alternates SET and GET on one key — the
+// steady-state overwrite cycle whose kv-side entry churn the in-place
+// update path is meant to eliminate.
+func BenchmarkLoopbackSetGet(b *testing.B) {
+	srv := benchServer(b)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	val := benchValue(512)
+	if err := cl.Set("bench:key", 7, val); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(2 * len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Set("bench:key", 7, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, ok, err := cl.Get("bench:key"); err != nil || !ok {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}

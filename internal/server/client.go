@@ -15,10 +15,28 @@ import (
 // the server through it. One Client owns one connection and is not safe
 // for concurrent use — open one per worker, like a real cache client
 // pool does.
+//
+// The request path is allocation-free in steady state: requests are
+// assembled with WriteString/AppendUint (no fmt), responses are parsed
+// as byte slices out of the read buffer, and retrieved values land in a
+// grow-only scratch buffer — so a loadgen built on this client measures
+// the server, not its own allocator. The price is an aliasing contract:
+// a value returned by Get/Gets/Gat/Gats is valid only until the next
+// retrieval on the same Client; callers that keep it must copy.
 type Client struct {
 	c net.Conn
 	r *bufio.Reader
 	w *bufio.Writer
+
+	// val receives retrieved value bodies (grow-only scratch).
+	val []byte
+	// num formats request integers.
+	num []byte
+	// lineBuf accumulates a response line longer than the read buffer
+	// (stats surfaces, pathological servers) — never the data block.
+	lineBuf []byte
+	// fields holds tokenized response-header slices.
+	fields [][]byte
 }
 
 // Dial connects to a server.
@@ -37,27 +55,72 @@ func (cl *Client) Close() error {
 	return cl.c.Close()
 }
 
-func (cl *Client) line() (string, error) {
-	s, err := cl.r.ReadString('\n')
-	if err != nil {
-		return "", err
+// lineBytes reads one response line without allocating: the returned
+// slice aliases the read buffer (or lineBuf for over-length lines) and
+// is valid only until the next read on the connection.
+func (cl *Client) lineBytes() ([]byte, error) {
+	s, err := cl.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		cl.lineBuf = append(cl.lineBuf[:0], s...)
+		for err == bufio.ErrBufferFull {
+			s, err = cl.r.ReadSlice('\n')
+			cl.lineBuf = append(cl.lineBuf, s...)
+		}
+		s = cl.lineBuf
 	}
-	return strings.TrimSuffix(strings.TrimSuffix(s, "\n"), "\r"), nil
+	if err != nil {
+		return nil, err
+	}
+	s = s[:len(s)-1] // \n
+	if len(s) > 0 && s[len(s)-1] == '\r' {
+		s = s[:len(s)-1]
+	}
+	return s, nil
+}
+
+func (cl *Client) line() (string, error) {
+	b, err := cl.lineBytes()
+	return string(b), err
+}
+
+// writeUint appends a base-10 integer to the request without fmt.
+func (cl *Client) writeUint(v uint64) {
+	cl.num = strconv.AppendUint(cl.num[:0], v, 10)
+	_, _ = cl.w.Write(cl.num)
+}
+
+func (cl *Client) writeInt(v int64) {
+	cl.num = strconv.AppendInt(cl.num[:0], v, 10)
+	_, _ = cl.w.Write(cl.num)
+}
+
+// writeStorageHeader assembles `<cmd> <key> <flags> <exptime> <bytes>`.
+func (cl *Client) writeStorageHeader(cmd, key string, flags uint32, exptime int64, n int) {
+	_, _ = cl.w.WriteString(cmd)
+	_ = cl.w.WriteByte(' ')
+	_, _ = cl.w.WriteString(key)
+	_ = cl.w.WriteByte(' ')
+	cl.writeUint(uint64(flags))
+	_ = cl.w.WriteByte(' ')
+	cl.writeInt(exptime)
+	_ = cl.w.WriteByte(' ')
+	cl.writeUint(uint64(n))
 }
 
 // store issues one storage command and decodes the reply.
 func (cl *Client) store(cmd, key string, flags uint32, exptime int64, value []byte) (bool, error) {
-	fmt.Fprintf(cl.w, "%s %s %d %d %d\r\n", cmd, key, flags, exptime, len(value))
-	cl.w.Write(value)
-	cl.w.WriteString("\r\n")
+	cl.writeStorageHeader(cmd, key, flags, exptime, len(value))
+	_, _ = cl.w.WriteString(crlf)
+	_, _ = cl.w.Write(value)
+	_, _ = cl.w.WriteString(crlf)
 	if err := cl.w.Flush(); err != nil {
 		return false, err
 	}
-	resp, err := cl.line()
+	resp, err := cl.lineBytes()
 	if err != nil {
 		return false, err
 	}
-	switch resp {
+	switch string(resp) {
 	case respStored:
 		return true, nil
 	case respNotStored:
@@ -81,9 +144,10 @@ func (cl *Client) SetEx(key string, flags uint32, exptime int64, value []byte) e
 
 // SetNoreply stores without waiting for a response (pipelined writes).
 func (cl *Client) SetNoreply(key string, flags uint32, value []byte) error {
-	fmt.Fprintf(cl.w, "set %s %d 0 %d noreply\r\n", key, flags, len(value))
-	cl.w.Write(value)
-	_, err := cl.w.WriteString("\r\n")
+	cl.writeStorageHeader("set", key, flags, 0, len(value))
+	_, _ = cl.w.WriteString(" noreply\r\n")
+	_, _ = cl.w.Write(value)
+	_, err := cl.w.WriteString(crlf)
 	return err
 }
 
@@ -123,17 +187,20 @@ const (
 // Cas stores key=value only if the server-side cas unique still equals
 // cas (from a previous Gets).
 func (cl *Client) Cas(key string, flags uint32, exptime int64, cas uint64, value []byte) (CasStatus, error) {
-	fmt.Fprintf(cl.w, "cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas)
-	cl.w.Write(value)
-	cl.w.WriteString("\r\n")
+	cl.writeStorageHeader("cas", key, flags, exptime, len(value))
+	_ = cl.w.WriteByte(' ')
+	cl.writeUint(cas)
+	_, _ = cl.w.WriteString(crlf)
+	_, _ = cl.w.Write(value)
+	_, _ = cl.w.WriteString(crlf)
 	if err := cl.w.Flush(); err != nil {
 		return 0, err
 	}
-	resp, err := cl.line()
+	resp, err := cl.lineBytes()
 	if err != nil {
 		return 0, err
 	}
-	switch resp {
+	switch string(resp) {
 	case respStored:
 		return CasStored, nil
 	case respExists:
@@ -156,19 +223,26 @@ func (cl *Client) Decr(key string, delta uint64) (val uint64, found bool, err er
 }
 
 func (cl *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
-	fmt.Fprintf(cl.w, "%s %s %d\r\n", cmd, key, delta)
+	_, _ = cl.w.WriteString(cmd)
+	_ = cl.w.WriteByte(' ')
+	_, _ = cl.w.WriteString(key)
+	_ = cl.w.WriteByte(' ')
+	cl.writeUint(delta)
+	_, _ = cl.w.WriteString(crlf)
 	if err := cl.w.Flush(); err != nil {
 		return 0, false, err
 	}
-	resp, err := cl.line()
+	resp, err := cl.lineBytes()
 	if err != nil {
 		return 0, false, err
 	}
-	if resp == respNotFound {
+	if string(resp) == respNotFound {
 		return 0, false, nil
 	}
-	v, perr := strconv.ParseUint(resp, 10, 64)
-	if perr != nil {
+	// A space-padded-decr server right-pads shrinking results; the
+	// number is the digit prefix either way.
+	v, ok := parseNumericValueB(resp)
+	if !ok {
 		return 0, false, fmt.Errorf("server: %s %q: %s", cmd, key, resp)
 	}
 	return v, true, nil
@@ -177,15 +251,19 @@ func (cl *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
 // Touch updates key's expiry without fetching it; reports whether the
 // key was present.
 func (cl *Client) Touch(key string, exptime int64) (bool, error) {
-	fmt.Fprintf(cl.w, "touch %s %d\r\n", key, exptime)
+	_, _ = cl.w.WriteString("touch ")
+	_, _ = cl.w.WriteString(key)
+	_ = cl.w.WriteByte(' ')
+	cl.writeInt(exptime)
+	_, _ = cl.w.WriteString(crlf)
 	if err := cl.w.Flush(); err != nil {
 		return false, err
 	}
-	resp, err := cl.line()
+	resp, err := cl.lineBytes()
 	if err != nil {
 		return false, err
 	}
-	switch resp {
+	switch string(resp) {
 	case respTouched:
 		return true, nil
 	case respNotFound:
@@ -196,53 +274,68 @@ func (cl *Client) Touch(key string, exptime int64) (bool, error) {
 
 // Gat fetches key and updates its expiry in one command.
 func (cl *Client) Gat(exptime int64, key string) (value []byte, flags uint32, ok bool, err error) {
-	v, f, _, ok, err := cl.retrieve("gat "+strconv.FormatInt(exptime, 10), key)
+	v, f, _, ok, err := cl.retrieve("gat", key, exptime, true)
 	return v, f, ok, err
 }
 
 // Gats is Gat returning the cas unique too.
 func (cl *Client) Gats(exptime int64, key string) (value []byte, flags uint32, cas uint64, ok bool, err error) {
-	return cl.retrieve("gats "+strconv.FormatInt(exptime, 10), key)
+	return cl.retrieve("gats", key, exptime, true)
 }
 
-// Get fetches one key; ok is false on a miss.
+// Get fetches one key; ok is false on a miss. The returned value is
+// backed by the client's scratch buffer and valid until the next
+// retrieval.
 func (cl *Client) Get(key string) (value []byte, flags uint32, ok bool, err error) {
-	v, f, _, ok, err := cl.retrieve("get", key)
+	v, f, _, ok, err := cl.retrieve("get", key, 0, false)
 	return v, f, ok, err
 }
 
 // Gets fetches one key with its cas unique.
 func (cl *Client) Gets(key string) (value []byte, flags uint32, cas uint64, ok bool, err error) {
-	return cl.retrieve("gets", key)
+	return cl.retrieve("gets", key, 0, false)
 }
 
-func (cl *Client) retrieve(cmd, key string) (value []byte, flags uint32, cas uint64, ok bool, err error) {
-	fmt.Fprintf(cl.w, "%s %s\r\n", cmd, key)
+func (cl *Client) retrieve(cmd, key string, exptime int64, withExp bool) (value []byte, flags uint32, cas uint64, ok bool, err error) {
+	_, _ = cl.w.WriteString(cmd)
+	if withExp {
+		_ = cl.w.WriteByte(' ')
+		cl.writeInt(exptime)
+	}
+	_ = cl.w.WriteByte(' ')
+	_, _ = cl.w.WriteString(key)
+	_, _ = cl.w.WriteString(crlf)
 	if err = cl.w.Flush(); err != nil {
 		return
 	}
 	for {
-		var resp string
-		if resp, err = cl.line(); err != nil {
+		var resp []byte
+		if resp, err = cl.lineBytes(); err != nil {
 			return
 		}
-		if resp == respEnd {
+		if string(resp) == respEnd {
 			return
 		}
-		fields := strings.Fields(resp)
-		if len(fields) < 4 || fields[0] != "VALUE" {
+		// Header fields are parsed to scalars before the body read slides
+		// the read buffer under them.
+		cl.fields = tokenize(resp, cl.fields[:0])
+		if len(cl.fields) < 4 || string(cl.fields[0]) != "VALUE" {
 			err = fmt.Errorf("server: %s %q: %s", cmd, key, resp)
 			return
 		}
 		var n uint64
-		if n, err = strconv.ParseUint(fields[3], 10, 31); err != nil {
+		if n, err = parseUintB(cl.fields[3], 31); err != nil {
+			err = fmt.Errorf("server: %s %q: bad byte count %q", cmd, key, cl.fields[3])
 			return
 		}
-		f64, _ := strconv.ParseUint(fields[2], 10, 32)
-		if len(fields) >= 5 {
-			cas, _ = strconv.ParseUint(fields[4], 10, 64)
+		f64, _ := parseUintB(cl.fields[2], 32)
+		if len(cl.fields) >= 5 {
+			cas, _ = parseUintB(cl.fields[4], 64)
 		}
-		buf := make([]byte, n+2)
+		if cap(cl.val) < int(n)+2 {
+			cl.val = make([]byte, n+2)
+		}
+		buf := cl.val[:n+2]
 		if _, err = io.ReadFull(cl.r, buf); err != nil {
 			return
 		}
@@ -252,15 +345,17 @@ func (cl *Client) retrieve(cmd, key string) (value []byte, flags uint32, cas uin
 
 // Delete removes key; reports whether it existed.
 func (cl *Client) Delete(key string) (bool, error) {
-	fmt.Fprintf(cl.w, "delete %s\r\n", key)
+	_, _ = cl.w.WriteString("delete ")
+	_, _ = cl.w.WriteString(key)
+	_, _ = cl.w.WriteString(crlf)
 	if err := cl.w.Flush(); err != nil {
 		return false, err
 	}
-	resp, err := cl.line()
+	resp, err := cl.lineBytes()
 	if err != nil {
 		return false, err
 	}
-	switch resp {
+	switch string(resp) {
 	case respDeleted:
 		return true, nil
 	case respNotFound:

@@ -1,0 +1,49 @@
+package server
+
+// Space-padded decr compatibility mode: memcached's classic decr updated
+// the item in place, so a result with fewer digits was right-padded with
+// spaces to the old length — the reply carries the bare number, but a
+// subsequent get exposes the padding, and further arithmetic must parse
+// straight through it. Clients that frame fixed-width counters depend on
+// it; alaskad reproduces it behind -space-padded-decr (Config.
+// SpacePaddedDecr), off by default.
+
+import "testing"
+
+func TestSpacePaddedDecrConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0", SpacePaddedDecr: true}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set n 0 0 4\r\n1000\r\n", "STORED\r\n"},
+			// The reply is the bare number...
+			{"decr n 1\r\n", "999\r\n"},
+			// ...but the stored value keeps the old length, space-padded.
+			{"get n\r\n", "VALUE n 0 4\r\n999 \r\nEND\r\n"},
+			// Arithmetic parses through existing padding, and the pad
+			// target stays the current (already padded) length.
+			{"decr n 900\r\n", "99\r\n"},
+			{"get n\r\n", "VALUE n 0 4\r\n99  \r\nEND\r\n"},
+			// incr never pads: a growing value is simply rewritten.
+			{"incr n 1\r\n", "100\r\n"},
+			{"get n\r\n", "VALUE n 0 3\r\n100\r\nEND\r\n"},
+			// A decr that does not shrink the digit count needs no pad.
+			{"decr n 1\r\n", "99\r\n"},
+			{"get n\r\n", "VALUE n 0 3\r\n99 \r\nEND\r\n"},
+			// Underflow clamps at 0 and pads to the old width.
+			{"decr n 500 \r\n", "0\r\n"},
+			{"get n\r\n", "VALUE n 0 3\r\n0  \r\nEND\r\n"},
+			// noreply decr still pads silently.
+			{"set m 0 0 2\r\n10\r\ndecr m 9 noreply\r\nget m\r\n", "STORED\r\nVALUE m 0 2\r\n1 \r\nEND\r\n"},
+		})
+	})
+}
+
+func TestDecrUnpaddedByDefault(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set n 0 0 4\r\n1000\r\n", "STORED\r\n"},
+			{"decr n 1\r\n", "999\r\n"},
+			// Default mode: the value shrinks with the number.
+			{"get n\r\n", "VALUE n 0 3\r\n999\r\nEND\r\n"},
+		})
+	})
+}

@@ -10,6 +10,14 @@
 // serving requests between safepoint polls.
 package server
 
+// The request path no longer runs the string-based parsers below — the
+// zero-allocation tokenizer and byte parsers in parse.go do — but they
+// are kept, unchanged, as the reference implementations the differential
+// fuzzer (FuzzTokenizeDifferential) holds the byte path to: same fields,
+// same verdicts, same CLIENT_ERROR classification. Shared protocol
+// constants, response lines, deadline normalization, and the stored
+// value codec also live here.
+
 import (
 	"encoding/binary"
 	"fmt"

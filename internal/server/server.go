@@ -9,7 +9,6 @@ import (
 	"net"
 	"os"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +71,13 @@ type Config struct {
 	// the stream resynced at the next newline, instead of growing the
 	// read buffer without bound. Default 2048.
 	MaxLineLen int
+	// SpacePaddedDecr enables memcached's classic decr compatibility
+	// behavior: a decrement whose result has fewer digits than the stored
+	// value is right-padded with spaces to the old length (so the item
+	// never shrinks in place). Off by default — modern clients expect the
+	// bare number — but available for clients that parse fixed-width
+	// counters (alaskad -space-padded-decr).
+	SpacePaddedDecr bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -476,6 +482,19 @@ type connHandler struct {
 	// backlog counts reply bytes accepted into the write path since the
 	// last successful drain — the MaxReplyBacklog budget.
 	backlog int
+
+	// Pooled per-connection scratch memory: every buffer below is owned
+	// by this connection's goroutine, grows to the workload's steady
+	// state, and is reused for every subsequent command — the request
+	// path performs no per-op allocation once warm. None of them may be
+	// shared across connections (pool_race_test.go proves they never
+	// alias).
+	fields [][]byte // tokenized command fields (slices into the read buffer)
+	keyBuf []byte   // storage-command key, copied out before the body read
+	body   []byte   // data-block read buffer (value + CRLF)
+	val    []byte   // kv copy-out / RMW old-value scratch
+	val2   []byte   // encoded write-back value scratch (may not alias val)
+	hdr    []byte   // response header / numeric reply scratch
 }
 
 func (s *Server) handleConn(c *conn) {
@@ -571,8 +590,10 @@ var errLineTooLong = errors.New("server: command line too long")
 // readLine reads one CRLF-terminated command line of at most MaxLineLen
 // bytes. If the line is not already buffered, the wait happens in the
 // session's idle (external) state so stop-the-world barriers don't wait
-// for this connection.
-func (h *connHandler) readLine() (string, error) {
+// for this connection. The returned slice aliases the read buffer and is
+// valid only until the next read on h.r (dispatch parses it — and copies
+// anything that must survive a body read — before touching the reader).
+func (h *connHandler) readLine() ([]byte, error) {
 	if h.commandPending() {
 		return readLineDirect(h.r, h.srv.cfg.MaxLineLen)
 	}
@@ -584,30 +605,35 @@ func (h *connHandler) readLine() (string, error) {
 // readLineDirect reads one line in bounded memory by scanning the
 // buffered window as bytes arrive: the moment more than max bytes (plus
 // the CRLF terminator) are present with no newline, the line is rejected
-// — however much, or however slowly, a hostile client streams.
-func readLineDirect(r *bufio.Reader, max int) (string, error) {
+// — however much, or however slowly, a hostile client streams. The line
+// is returned as a slice into the reader's buffer — no copy, no
+// allocation — valid until the next read on r.
+func readLineDirect(r *bufio.Reader, max int) ([]byte, error) {
 	want := 1
 	for {
 		if _, err := r.Peek(want); r.Buffered() < want {
-			return "", err // EOF / reap / connection failure mid-line
+			return nil, err // EOF / reap / connection failure mid-line
 		}
 		n := r.Buffered()
 		window, _ := r.Peek(n)
 		if i := bytes.IndexByte(window, '\n'); i >= 0 {
 			if i > max+1 { // line content + optional \r
-				return "", errLineTooLong
+				return nil, errLineTooLong
 			}
-			line := strings.TrimSuffix(string(window[:i]), "\r")
+			line := window[:i]
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
 			_, _ = r.Discard(i + 1)
 			return line, nil
 		}
 		if n > max+1 {
-			return "", errLineTooLong
+			return nil, errLineTooLong
 		}
 		if want = n + 1; want > r.Size() {
 			// The whole bufio window filled without a newline: over any
 			// sane cap (the resync path discards from here).
-			return "", errLineTooLong
+			return nil, errLineTooLong
 		}
 	}
 }
@@ -631,10 +657,14 @@ func (h *connHandler) resyncLine() error {
 }
 
 // readBody reads a storage command's n-byte data block plus its CRLF
-// terminator, idling the session if the bytes aren't buffered yet.
-// It returns the data and whether the terminator was well-formed.
+// terminator into the connection's grow-only body scratch, idling the
+// session if the bytes aren't buffered yet. It returns the data (valid
+// until the next readBody) and whether the terminator was well-formed.
 func (h *connHandler) readBody(n int) ([]byte, bool, error) {
-	buf := make([]byte, n+2)
+	if cap(h.body) < n+2 {
+		h.body = make([]byte, n+2)
+	}
+	buf := h.body[:n+2]
 	if h.r.Buffered() < len(buf) {
 		h.sess.EnterIdle()
 		_, err := io.ReadFull(h.r, buf)
@@ -687,33 +717,62 @@ func (h *connHandler) flush() error {
 	return nil
 }
 
-// writeFull writes p to the response buffer, charging the reply-backlog
-// budget: past the budget it stops producing and forces a flush — a
-// reading client drains and resets the budget; one that stopped reading
-// blocks the flush into its write deadline and is disconnected. When p
+// prepareWrite is the shared preamble of writeFull/writeString: it
+// charges the reply-backlog budget for n reply bytes — past the budget
+// the handler stops producing and forces a flush, so a reading client
+// drains and resets the budget while one that stopped reading blocks
+// the flush into its write deadline and is disconnected — and reports
+// whether the write must happen in the session's idle state: when n
 // does not fit in the buffer's free space, bufio flushes to the socket
-// mid-Write; that flush can block on a slow-reading client, so it must
-// happen in the idle state or a pending barrier would wait on this
-// thread forever (the per-write deadline bounds the block).
-func (h *connHandler) writeFull(p []byte) error {
-	if h.srv.cfg.MaxReplyBacklog > 0 && h.backlog+len(p) > h.srv.cfg.MaxReplyBacklog {
+// mid-write, and that flush can block on a slow-reading client, so it
+// must not stall a pending barrier (the per-write deadline bounds the
+// block). Keeping the policy here means the []byte and string write
+// paths can never diverge.
+func (h *connHandler) prepareWrite(n int) (idle bool, err error) {
+	if h.srv.cfg.MaxReplyBacklog > 0 && h.backlog+n > h.srv.cfg.MaxReplyBacklog {
 		if err := h.flush(); err != nil {
-			return err
+			return false, err
 		}
 	}
-	h.backlog += len(p)
-	if h.w.Available() >= len(p) {
-		_, err := h.w.Write(p)
+	h.backlog += n
+	return h.w.Available() < n, nil
+}
+
+// writeFull writes p to the response buffer under the backpressure
+// policy above.
+func (h *connHandler) writeFull(p []byte) error {
+	idle, err := h.prepareWrite(len(p))
+	if err != nil {
 		return err
 	}
-	h.sess.EnterIdle()
-	defer h.sess.ExitIdle()
-	_, err := h.w.Write(p)
+	if idle {
+		h.sess.EnterIdle()
+		defer h.sess.ExitIdle()
+	}
+	_, err = h.w.Write(p)
+	return err
+}
+
+// writeString is writeFull for string data (response literals), using
+// bufio's WriteString so no []byte conversion is allocated.
+func (h *connHandler) writeString(s string) error {
+	idle, err := h.prepareWrite(len(s))
+	if err != nil {
+		return err
+	}
+	if idle {
+		h.sess.EnterIdle()
+		defer h.sess.ExitIdle()
+	}
+	_, err = h.w.WriteString(s)
 	return err
 }
 
 func (h *connHandler) reply(line string) error {
-	return h.writeFull([]byte(line + crlf))
+	if err := h.writeString(line); err != nil {
+		return err
+	}
+	return h.writeString(crlf)
 }
 
 // replyError counts a protocol error and sends the error line.
@@ -722,23 +781,68 @@ func (h *connHandler) replyError(line string) error {
 	return h.reply(line)
 }
 
+// storeOp names a storage command for the post-parse paths, so the
+// command token (a slice into the read buffer) need not survive the
+// body read.
+type storeOp int
+
+const (
+	opSet storeOp = iota
+	opAdd
+	opReplace
+	opCas
+	opAppend
+	opPrepend
+)
+
+func (op storeOp) String() string {
+	switch op {
+	case opSet:
+		return "set"
+	case opAdd:
+		return "add"
+	case opReplace:
+		return "replace"
+	case opCas:
+		return "cas"
+	case opAppend:
+		return "append"
+	case opPrepend:
+		return "prepend"
+	}
+	return "?"
+}
+
 // dispatch executes one command line. The returned error is an I/O
 // failure (drop the connection); protocol errors are answered in-band.
-func (h *connHandler) dispatch(line string) (quit bool, err error) {
-	fields := splitCommand(line)
-	if len(fields) == 0 {
+// line aliases the read buffer; it is tokenized in place (no per-command
+// string materializes) and anything that must survive a body read is
+// copied into connection-owned scratch first.
+func (h *connHandler) dispatch(line []byte) (quit bool, err error) {
+	h.fields = tokenize(line, h.fields[:0])
+	if len(h.fields) == 0 {
 		return false, h.replyError(respError)
 	}
-	cmd, args := fields[0], fields[1:]
-	switch cmd {
+	cmd, args := h.fields[0], h.fields[1:]
+	switch string(cmd) { // compiles to allocation-free comparisons
 	case "get", "gets":
-		return false, h.doGet(args, cmd == "gets")
+		return false, h.doGet(args, len(cmd) == 4)
 	case "gat", "gats":
-		return false, h.doGat(args, cmd == "gats")
-	case "set", "add", "replace", "cas", "append", "prepend":
-		return false, h.doStore(cmd, args)
+		return false, h.doGat(args, len(cmd) == 4)
+	case "set":
+		return false, h.doStore(opSet, args)
+	case "add":
+		return false, h.doStore(opAdd, args)
+	case "replace":
+		return false, h.doStore(opReplace, args)
+	case "cas":
+		return false, h.doStore(opCas, args)
+	case "append":
+		return false, h.doStore(opAppend, args)
+	case "prepend":
+		return false, h.doStore(opPrepend, args)
 	case "incr", "decr":
-		return false, h.doIncrDecr(args, cmd == "incr")
+		return false, h.doIncrDecr(args, cmd[0] == 'i')
 	case "delete":
 		return false, h.doDelete(args)
 	case "touch":
@@ -759,43 +863,55 @@ func (h *connHandler) dispatch(line string) (quit bool, err error) {
 }
 
 // emitValue writes one VALUE line (+ data block) for a stored
-// representation, decoding the flags/cas header. ok is false when the
-// header failed to decode: the SERVER_ERROR line has already been sent
-// and the caller must abort the retrieval (no further VALUEs, no END) —
-// interleaving an error line between VALUE blocks would be unframeable.
-func (h *connHandler) emitValue(key string, stored []byte, withCAS bool) (ok bool, err error) {
+// representation, decoding the flags/cas header. The header line is
+// assembled in the connection's hdr scratch and the data region is
+// handed straight to the buffered writer — a hit serializes with zero
+// allocation. ok is false when the header failed to decode: the
+// SERVER_ERROR line has already been sent and the caller must abort the
+// retrieval (no further VALUEs, no END) — interleaving an error line
+// between VALUE blocks would be unframeable.
+func (h *connHandler) emitValue(key []byte, stored []byte, withCAS bool) (ok bool, err error) {
 	flags, cas, data, derr := decodeValue(stored)
 	if derr != nil {
 		return false, h.replyError("SERVER_ERROR " + derr.Error())
 	}
-	var hdr string
+	hdr := append(h.hdr[:0], "VALUE "...)
+	hdr = append(hdr, key...)
+	hdr = append(hdr, ' ')
+	hdr = strconv.AppendUint(hdr, uint64(flags), 10)
+	hdr = append(hdr, ' ')
+	hdr = strconv.AppendUint(hdr, uint64(len(data)), 10)
 	if withCAS {
-		hdr = fmt.Sprintf("VALUE %s %d %d %d", key, flags, len(data), cas)
-	} else {
-		hdr = fmt.Sprintf("VALUE %s %d %d", key, flags, len(data))
+		hdr = append(hdr, ' ')
+		hdr = strconv.AppendUint(hdr, cas, 10)
 	}
-	if err := h.reply(hdr); err != nil {
+	hdr = append(hdr, crlf...)
+	h.hdr = hdr
+	if err := h.writeFull(hdr); err != nil {
 		return false, err
 	}
 	if err := h.writeFull(data); err != nil {
 		return false, err
 	}
-	return true, h.writeFull([]byte(crlf))
+	return true, h.writeString(crlf)
 }
 
-func (h *connHandler) doGet(keys []string, withCAS bool) error {
+func (h *connHandler) doGet(keys [][]byte, withCAS bool) error {
 	if len(keys) == 0 {
 		return h.replyError(respBadFormat)
 	}
 	for _, key := range keys {
-		if !validKey(key) {
+		if !validKeyB(key) {
 			return h.replyError(respBadFormat)
 		}
-		stored, err := h.srv.store.Get(h.sess, key)
+		stored, hit, err := h.srv.store.GetInto(h.sess, key, h.val[:0])
+		if cap(stored) > cap(h.val) {
+			h.val = stored // keep the grown scratch for the next hit
+		}
 		if err != nil {
 			return h.replyError("SERVER_ERROR " + err.Error())
 		}
-		if stored == nil {
+		if !hit {
 			continue // miss: omitted from the response
 		}
 		ok, err := h.emitValue(key, stored, withCAS)
@@ -808,18 +924,21 @@ func (h *connHandler) doGet(keys []string, withCAS bool) error {
 
 // doGat is get-and-touch: retrieval that also moves each hit key's expiry
 // deadline, as one critical section per key.
-func (h *connHandler) doGat(args []string, withCAS bool) error {
-	exptime, keys, perr := parseGat(args)
+func (h *connHandler) doGat(args [][]byte, withCAS bool) error {
+	exptime, keys, perr := parseGatB(args)
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}
 	deadline := deadlineFor(exptime, h.srv.cfg.Clock())
 	for _, key := range keys {
-		stored, err := h.srv.store.GetAndTouch(h.sess, key, deadline)
+		stored, hit, err := h.srv.store.GetAndTouchInto(h.sess, key, deadline, h.val[:0])
+		if cap(stored) > cap(h.val) {
+			h.val = stored
+		}
 		if err != nil {
 			return h.replyError("SERVER_ERROR " + err.Error())
 		}
-		if stored == nil {
+		if !hit {
 			continue
 		}
 		ok, err := h.emitValue(key, stored, withCAS)
@@ -830,11 +949,15 @@ func (h *connHandler) doGat(args []string, withCAS bool) error {
 	return h.reply(respEnd)
 }
 
-func (h *connHandler) doStore(cmd string, args []string) error {
-	sa, perr := parseStorage(args, cmd == "cas")
+func (h *connHandler) doStore(op storeOp, args [][]byte) error {
+	sa, perr := parseStorageB(args, op == opCas)
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}
+	// The key currently points into the read buffer, which the body read
+	// is about to slide; copy it into connection-owned scratch.
+	h.keyBuf = append(h.keyBuf[:0], sa.key...)
+	sa.key = h.keyBuf
 	if sa.nbytes > h.srv.cfg.MaxValueSize {
 		// Consume and discard the oversized body — without buffering it —
 		// to stay in sync, then report.
@@ -867,7 +990,7 @@ func (h *connHandler) doStore(cmd string, args []string) error {
 		}
 		return h.resyncLine()
 	}
-	resp, errLine, err := h.executeStore(cmd, sa, data)
+	resp, errLine, err := h.executeStore(op, sa, data)
 	if err != nil {
 		if sa.noreply {
 			h.srv.protocolErrors.Add(1)
@@ -876,7 +999,7 @@ func (h *connHandler) doStore(cmd string, args []string) error {
 		// Plain stores fail on allocation (memcached's canonical line);
 		// an RMW failure may equally be a read fault mid-Apply, so
 		// surface the real error there.
-		if cmd == "set" || cmd == "add" || cmd == "replace" {
+		if op == opSet || op == opAdd || op == opReplace {
 			return h.replyError(respOutOfMemory)
 		}
 		return h.replyError("SERVER_ERROR " + err.Error())
@@ -899,19 +1022,24 @@ func (h *connHandler) doStore(cmd string, args []string) error {
 // in protocol_errors. Every variant consumes a fresh cas unique: any
 // successful store makes previously handed-out uniques stale, which is
 // exactly the cas contract.
-func (h *connHandler) executeStore(cmd string, sa storageArgs, data []byte) (resp string, errLine bool, err error) {
+//
+// Write-back values are encoded into the connection's val2 scratch (the
+// RMW old value lives in val), so the whole family — plain stores, cas,
+// append/prepend — stores without allocating.
+func (h *connHandler) executeStore(op storeOp, sa storageArgsB, data []byte) (resp string, errLine bool, err error) {
 	newCas := h.srv.casCounter.Add(1)
 	deadline := deadlineFor(sa.exptime, h.srv.cfg.Clock())
-	switch cmd {
-	case "set", "add", "replace":
+	switch op {
+	case opSet, opAdd, opReplace:
 		mode := kv.SetAlways
-		switch cmd {
-		case "add":
+		switch op {
+		case opAdd:
 			mode = kv.SetAdd
-		case "replace":
+		case opReplace:
 			mode = kv.SetReplace
 		}
-		stored, serr := h.srv.store.SetEx(h.sess, sa.key, encodeValue(sa.flags, newCas, data), mode, deadline)
+		h.val2 = appendValue(h.val2[:0], sa.flags, newCas, data)
+		stored, serr := h.srv.store.SetExBytes(h.sess, sa.key, h.val2, mode, deadline)
 		if serr != nil {
 			return "", false, serr
 		}
@@ -919,13 +1047,13 @@ func (h *connHandler) executeStore(cmd string, sa storageArgs, data []byte) (res
 			return respStored, false, nil
 		}
 		return respNotStored, false, nil
-	case "cas":
+	case opCas:
 		// Compare the stored unique and swap under the shard lock: the
 		// read, the comparison, and the write-back are one critical
 		// section, so exactly one of N racing cas commands with the same
 		// unique can win.
 		resp = respStored
-		err = h.srv.store.Apply(h.sess, sa.key, func(old []byte, found bool) kv.ApplyOp {
+		h.val, err = h.srv.store.ApplyInto(h.sess, sa.key, h.val, func(old []byte, found bool) kv.ApplyOp {
 			if !found {
 				resp = respNotFound
 				return kv.ApplyOp{Stat: kv.StatCasMiss}
@@ -939,20 +1067,21 @@ func (h *connHandler) executeStore(cmd string, sa storageArgs, data []byte) (res
 				resp = respExists
 				return kv.ApplyOp{Stat: kv.StatCasBadval}
 			}
+			h.val2 = appendValue(h.val2[:0], sa.flags, newCas, data)
 			return kv.ApplyOp{
 				Verdict: kv.ApplyStore,
-				Value:   encodeValue(sa.flags, newCas, data),
+				Value:   h.val2,
 				Expire:  deadline,
 				Stat:    kv.StatCasHit,
 			}
 		})
 		return resp, errLine, err
-	case "append", "prepend":
+	case opAppend, opPrepend:
 		// Concatenation keeps the original flags and TTL (memcached
 		// ignores the flags/exptime arguments of append/prepend) but
 		// issues a new cas unique.
 		resp = respStored
-		err = h.srv.store.Apply(h.sess, sa.key, func(old []byte, found bool) kv.ApplyOp {
+		h.val, err = h.srv.store.ApplyInto(h.sess, sa.key, h.val, func(old []byte, found bool) kv.ApplyOp {
 			if !found {
 				resp = respNotStored
 				return kv.ApplyOp{}
@@ -970,29 +1099,35 @@ func (h *connHandler) executeStore(cmd string, sa storageArgs, data []byte) (res
 				resp, errLine = respTooLarge, true
 				return kv.ApplyOp{}
 			}
-			merged := make([]byte, 0, len(oldData)+len(data))
-			if cmd == "append" {
-				merged = append(append(merged, oldData...), data...)
+			h.val2 = appendValue(h.val2[:0], oldFlags, newCas, nil)
+			if op == opAppend {
+				h.val2 = append(append(h.val2, oldData...), data...)
 			} else {
-				merged = append(append(merged, data...), oldData...)
+				h.val2 = append(append(h.val2, data...), oldData...)
 			}
 			return kv.ApplyOp{
 				Verdict:    kv.ApplyStore,
-				Value:      encodeValue(oldFlags, newCas, merged),
+				Value:      h.val2,
 				KeepExpire: true,
 			}
 		})
 		return resp, errLine, err
 	}
-	return "", false, fmt.Errorf("server: unreachable storage command %q", cmd)
+	return "", false, fmt.Errorf("server: unreachable storage command %q", op)
 }
 
 // doIncrDecr implements incr/decr: 64-bit unsigned arithmetic on the
 // decimal value, read-modify-write as one critical section. incr wraps at
 // 2^64; decr clamps at 0 (memcached's underflow rule). The new value
-// keeps the item's flags and TTL but gets a fresh cas unique.
-func (h *connHandler) doIncrDecr(args []string, incr bool) error {
-	key, delta, noreply, perr := parseIncrDecr(args)
+// keeps the item's flags and TTL but gets a fresh cas unique. The result
+// digits are formatted once into the hdr scratch and serve as both the
+// write-back body and the reply — no allocation on a hit. With
+// SpacePaddedDecr, a shrinking decr result is stored right-padded with
+// spaces to the old value's length (memcached's classic in-place-update
+// artifact, visible to a subsequent get) while the reply stays the bare
+// number, exactly like memcached's out_string path.
+func (h *connHandler) doIncrDecr(args [][]byte, incr bool) error {
+	key, delta, noreply, perr := parseIncrDecrB(args)
 	if perr == errBadDelta {
 		if noreply {
 			h.srv.protocolErrors.Add(1)
@@ -1008,21 +1143,22 @@ func (h *connHandler) doIncrDecr(args []string, incr bool) error {
 	if !incr {
 		hitStat, missStat = kv.StatDecrHit, kv.StatDecrMiss
 	}
-	var resp string
-	errReply := false
-	err := h.srv.store.Apply(h.sess, key, func(old []byte, found bool) kv.ApplyOp {
-		if !found {
-			resp = respNotFound
+	var errResp string // in-band error line ("" = h.hdr carries the reply)
+	found := true
+	var err error
+	h.val, err = h.srv.store.ApplyInto(h.sess, key, h.val, func(old []byte, ok bool) kv.ApplyOp {
+		if !ok {
+			found = false
 			return kv.ApplyOp{Stat: missStat}
 		}
 		flags, _, data, derr := decodeValue(old)
 		if derr != nil {
-			resp, errReply = "SERVER_ERROR "+derr.Error(), true
+			errResp = "SERVER_ERROR " + derr.Error()
 			return kv.ApplyOp{}
 		}
-		val, ok := parseNumericValue(data)
-		if !ok {
-			resp, errReply = respNonNumeric, true
+		val, numeric := parseNumericValueB(data)
+		if !numeric {
+			errResp = respNonNumeric
 			return kv.ApplyOp{}
 		}
 		var next uint64
@@ -1033,10 +1169,19 @@ func (h *connHandler) doIncrDecr(args []string, incr bool) error {
 		} else {
 			next = val - delta
 		}
-		resp = strconv.FormatUint(next, 10)
+		h.hdr = strconv.AppendUint(h.hdr[:0], next, 10)
+		h.val2 = appendValue(h.val2[:0], flags, newCas, h.hdr)
+		if !incr && h.srv.cfg.SpacePaddedDecr {
+			// memcached-classic: the stored value keeps the old length,
+			// right-padded with spaces (the in-place-update artifact a
+			// subsequent get exposes); the reply is the bare number.
+			for len(h.val2)-valueHeaderLen < len(data) {
+				h.val2 = append(h.val2, ' ')
+			}
+		}
 		return kv.ApplyOp{
 			Verdict:    kv.ApplyStore,
-			Value:      encodeValue(flags, newCas, []byte(resp)),
+			Value:      h.val2,
 			KeepExpire: true,
 			Stat:       hitStat,
 		}
@@ -1051,25 +1196,31 @@ func (h *connHandler) doIncrDecr(args []string, incr bool) error {
 		return h.replyError("SERVER_ERROR " + err.Error())
 	}
 	if noreply {
-		if errReply {
+		if errResp != "" {
 			h.srv.protocolErrors.Add(1)
 		}
 		return nil
 	}
-	if errReply {
-		return h.replyError(resp)
+	if errResp != "" {
+		return h.replyError(errResp)
 	}
-	return h.reply(resp)
+	if !found {
+		return h.reply(respNotFound)
+	}
+	if werr := h.writeFull(h.hdr); werr != nil {
+		return werr
+	}
+	return h.writeString(crlf)
 }
 
 // doTouch updates a key's expiry deadline without touching its value.
-func (h *connHandler) doTouch(args []string) error {
-	key, exptime, noreply, perr := parseTouch(args)
+func (h *connHandler) doTouch(args [][]byte) error {
+	key, exptime, noreply, perr := parseTouchB(args)
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}
 	deadline := deadlineFor(exptime, h.srv.cfg.Clock())
-	found, err := h.srv.store.Touch(h.sess, key, deadline)
+	found, err := h.srv.store.TouchBytes(h.sess, key, deadline)
 	if err != nil {
 		return h.replyError("SERVER_ERROR " + err.Error())
 	}
@@ -1082,12 +1233,12 @@ func (h *connHandler) doTouch(args []string) error {
 	return h.reply(respNotFound)
 }
 
-func (h *connHandler) doDelete(args []string) error {
-	key, noreply, perr := parseDelete(args)
+func (h *connHandler) doDelete(args [][]byte) error {
+	key, noreply, perr := parseDeleteB(args)
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}
-	existed, err := h.srv.store.Del(h.sess, key)
+	existed, err := h.srv.store.DelBytes(h.sess, key)
 	if err != nil {
 		return h.replyError("SERVER_ERROR " + err.Error())
 	}
@@ -1105,8 +1256,8 @@ func (h *connHandler) doDelete(args []string) error {
 // clock reaches that moment, honored by the same lazy-expiry paths as
 // per-entry TTLs (plus one reclamation sweep by Maintain after the epoch
 // passes), so the command is O(1) regardless of item count.
-func (h *connHandler) doFlushAll(args []string) error {
-	delay, noreply, perr := parseFlushAll(args)
+func (h *connHandler) doFlushAll(args [][]byte) error {
+	delay, noreply, perr := parseFlushAllB(args)
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}
@@ -1129,8 +1280,8 @@ func (h *connHandler) doFlushAll(args []string) error {
 // parsed for conformance but otherwise ignored — alaskad has no log
 // levels to switch — which matches how most memcached deployments treat
 // the command anyway.
-func (h *connHandler) doVerbosity(args []string) error {
-	_, noreply, perr := parseVerbosity(args)
+func (h *connHandler) doVerbosity(args [][]byte) error {
+	_, noreply, perr := parseVerbosityB(args)
 	if perr != nil {
 		return h.replyError(respBadFormat)
 	}

@@ -2,7 +2,7 @@ package stats
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,31 +17,68 @@ var latencyBounds = func() []float64 {
 	return b
 }()
 
+// latencyBoundsNs mirrors latencyBounds in integer nanoseconds so the
+// record path is a pure integer binary search — no float conversion, no
+// allocation, no lock.
+var latencyBoundsNs = func() []int64 {
+	out := make([]int64, len(latencyBounds))
+	for i, us := range latencyBounds {
+		out[i] = int64(us * 1e3)
+	}
+	return out
+}()
+
 // LatencyRecorder is the shared latency instrument of the benchmark
 // harnesses, the alaskad stats surface, and the loadgen report: a
 // fixed-layout histogram of operation durations with cheap recording,
 // cross-recorder merging, and percentile queries.
 //
-// Methods are safe for concurrent use. The intended patterns are both
-// "one recorder per worker, Merge at the end" (no contention on the hot
-// path) and "one shared recorder sampled live" (the server's per-command
-// recorder, read by concurrent stats commands).
+// Methods are safe for concurrent use, and Record is lock-free: one
+// atomic increment per bucket plus the running sum/count/max, so a
+// recorder shared by every connection of a busy server never serializes
+// the hot path behind a mutex. Queries (Percentile, Mean, Merge) read
+// the counters without stopping writers; a query racing a Record may see
+// an observation in the count but not yet the sum (or vice versa), the
+// usual relaxed-snapshot guarantee of stats surfaces.
 type LatencyRecorder struct {
-	mu sync.Mutex
-	h  *Histogram
+	counts []atomic.Int64 // len(latencyBounds)+1: last bucket is overflow
+	n      atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
 }
 
 // NewLatencyRecorder returns an empty recorder.
 func NewLatencyRecorder() *LatencyRecorder {
-	return &LatencyRecorder{h: NewHistogram(latencyBounds)}
+	return &LatencyRecorder{counts: make([]atomic.Int64, len(latencyBoundsNs)+1)}
 }
 
-// Record adds one observation.
+// bucketFor returns the bucket index for an observation of ns
+// nanoseconds: the first bound >= ns, or the overflow bucket.
+func bucketFor(ns int64) int {
+	lo, hi := 0, len(latencyBoundsNs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if latencyBoundsNs[mid] < ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Record adds one observation. Lock-free and allocation-free.
 func (r *LatencyRecorder) Record(d time.Duration) {
-	us := float64(d.Nanoseconds()) / 1e3
-	r.mu.Lock()
-	r.h.Observe(us)
-	r.mu.Unlock()
+	ns := d.Nanoseconds()
+	r.counts[bucketFor(ns)].Add(1)
+	r.n.Add(1)
+	r.sumNs.Add(ns)
+	for {
+		cur := r.maxNs.Load()
+		if ns <= cur || r.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 // Merge folds other's observations into r. Both recorders stay usable.
@@ -49,42 +86,58 @@ func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
 	if other == nil || r == other {
 		return
 	}
-	other.mu.Lock()
-	snap := other.h.Clone()
-	other.mu.Unlock()
-	r.mu.Lock()
-	// Same package-level bounds on both sides: Merge cannot fail.
-	_ = r.h.Merge(snap)
-	r.mu.Unlock()
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			r.counts[i].Add(c)
+		}
+	}
+	r.n.Add(other.n.Load())
+	r.sumNs.Add(other.sumNs.Load())
+	max := other.maxNs.Load()
+	for {
+		cur := r.maxNs.Load()
+		if max <= cur || r.maxNs.CompareAndSwap(cur, max) {
+			return
+		}
+	}
 }
 
 // Count returns the number of observations.
-func (r *LatencyRecorder) Count() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.h.Count()
-}
+func (r *LatencyRecorder) Count() int64 { return r.n.Load() }
 
 // Mean returns the mean observed latency.
 func (r *LatencyRecorder) Mean() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return time.Duration(r.h.Mean() * 1e3)
+	n := r.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(r.sumNs.Load() / n)
 }
 
 // Max returns the largest observed latency.
 func (r *LatencyRecorder) Max() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return time.Duration(r.h.Max() * 1e3)
+	return time.Duration(r.maxNs.Load())
 }
 
 // Percentile returns the p-th percentile (0..100) as a duration. The
 // resolution is the bucket width (25% geometric steps).
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return time.Duration(r.h.Quantile(p/100) * 1e3)
+	n := r.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(p / 100 * float64(n))
+	var cum int64
+	for i := range r.counts {
+		cum += r.counts[i].Load()
+		if cum > target {
+			if i < len(latencyBoundsNs) {
+				return time.Duration(latencyBoundsNs[i])
+			}
+			return time.Duration(r.maxNs.Load())
+		}
+	}
+	return time.Duration(r.maxNs.Load())
 }
 
 // Summary renders the standard one-line report: count, mean, and the

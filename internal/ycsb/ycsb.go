@@ -76,7 +76,36 @@ func NewGenerator(w Workload, recordCount, valueSize int, seed int64) (*Generato
 }
 
 // Key formats record i as a YCSB key.
-func Key(i uint64) string { return fmt.Sprintf("user%012d", i) }
+func Key(i uint64) string { return FixedKey("user", i, 12) }
+
+// FixedKey renders prefix + i zero-padded to width digits —
+// Sprintf("%s%0*d", prefix, width, i) without the fmt machinery: one
+// string allocation, nothing else. It runs once per generated op in
+// every workload harness and the load generator (which also uses it for
+// its counter keyspace). An i wider than width digits widens like
+// Sprintf instead of truncating.
+func FixedKey(prefix string, i uint64, width int) string {
+	digits := 1
+	for v := i; v >= 10; v /= 10 {
+		digits++
+	}
+	if digits < width {
+		digits = width
+	}
+	n := len(prefix) + digits
+	var stack [32]byte
+	b := stack[:]
+	if n > len(b) {
+		b = make([]byte, n)
+	}
+	b = b[:n]
+	copy(b, prefix)
+	for j := n - 1; j >= len(prefix); j-- {
+		b[j] = '0' + byte(i%10)
+		i /= 10
+	}
+	return string(b)
+}
 
 // LoadOps returns the initial-load insert sequence.
 func (g *Generator) LoadOps() []Op {
