@@ -38,6 +38,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,7 +60,7 @@ func parseWorkload(s string) (ycsb.Workload, error) {
 	case "f":
 		return ycsb.WorkloadF, nil
 	}
-	return 0, fmt.Errorf("unknown workload %q (want ycsb-a|ycsb-b|ycsb-c|ycsb-f|rmw)", s)
+	return 0, fmt.Errorf("unknown workload %q (want ycsb-a|ycsb-b|ycsb-c|ycsb-f|rmw|churn)", s)
 }
 
 func main() {
@@ -83,8 +84,9 @@ func main() {
 	flag.Parse()
 
 	rmw := strings.EqualFold(*workloadFlag, "rmw")
+	churn := strings.EqualFold(*workloadFlag, "churn")
 	var w ycsb.Workload
-	if !rmw {
+	if !rmw && !churn {
 		var err error
 		w, err = parseWorkload(*workloadFlag)
 		if err != nil {
@@ -127,11 +129,17 @@ func main() {
 
 	// Load phase: split the keyspace across connections, pipelined with
 	// noreply for speed, then a synchronous version round-trip per
-	// connection to barrier on completion.
+	// connection to barrier on completion. The churn workload skips it —
+	// filling on miss IS the workload, and a keyspace chosen to dwarf the
+	// server's -max-memory would only churn the preload through eviction.
 	loadStart := time.Now()
 	var wg sync.WaitGroup
 	var loadErr atomic.Value
-	for c := 0; c < *conns; c++ {
+	loadConns := *conns
+	if churn {
+		loadConns = 0
+	}
+	for c := 0; c < loadConns; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
@@ -184,6 +192,7 @@ func main() {
 	// recorded.
 	recorders := make([]*stats.LatencyRecorder, *conns)
 	var totalOps, errOps atomic.Int64
+	var hits, misses atomic.Int64
 	start := time.Now()
 	measureStart := start.Add(*warmup)
 	deadline := measureStart.Add(*duration)
@@ -264,6 +273,38 @@ func main() {
 						buckets[idx].Record(lat)
 					}
 				}
+			}
+			if churn {
+				// Cache-fill churn: zipfian gets over a keyspace sized well
+				// past the server's memory ceiling, set-on-miss. Steady
+				// state is a cache running flat against -max-memory, so the
+				// hit rate measures how much useful working set the server
+				// keeps per byte of heap.
+				gen, err := ycsb.NewGenerator(ycsb.WorkloadC, *records, *valueSize, *seed+int64(c)+1)
+				if err != nil {
+					errOps.Add(1)
+					return
+				}
+				for time.Now().Before(deadline) {
+					key := gen.Next().Key
+					opStart := pace()
+					_, _, ok, err := cl.Get(key)
+					if err != nil {
+						errOps.Add(1)
+						return
+					}
+					if ok {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+						if err := cl.SetEx(key, 0, *ttl, val[:size(*valueSize)]); err != nil {
+							errOps.Add(1)
+							return
+						}
+					}
+					finish(opStart)
+				}
+				return
 			}
 			if rmw {
 				// RMW/TTL mix: every stored value carries -ttl, counters
@@ -359,7 +400,11 @@ func main() {
 	} else {
 		fmt.Printf("workload=%s connections=%d records=%d value=%dB\n",
 			strings.ToUpper(*workloadFlag), *conns, *records, *valueSize)
-		fmt.Printf("load: %d records in %v\n", *records, loadDur.Round(time.Millisecond))
+		if churn {
+			fmt.Println("load: skipped (churn fills on miss)")
+		} else {
+			fmt.Printf("load: %d records in %v\n", *records, loadDur.Round(time.Millisecond))
+		}
 		if *rate > 0 {
 			fmt.Printf("open-loop: target %.0f ops/s, warmup %v\n", *rate, *warmup)
 		}
@@ -373,7 +418,7 @@ func main() {
 		}
 	}
 
-	if *showStats {
+	if *showStats || churn {
 		cl, err := server.Dial(*addr)
 		if err != nil {
 			log.Fatalf("stats fetch: %v", err)
@@ -383,14 +428,32 @@ func main() {
 		if err != nil {
 			log.Fatalf("stats: %v", err)
 		}
-		keys := make([]string, 0, len(st))
-		for k := range st {
-			keys = append(keys, k)
+		if churn && !*csv {
+			// The figure of merit for a capped cache: how much hit rate
+			// the server buys per MiB of real memory. A defragmenting
+			// backend holds more live values in the same RSS, so it scores
+			// higher at an identical -max-memory.
+			h, m := hits.Load(), misses.Load()
+			hitRate := 0.0
+			if h+m > 0 {
+				hitRate = float64(h) / float64(h+m)
+			}
+			fmt.Printf("churn: hits=%d misses=%d hit_rate=%.4f\n", h, m, hitRate)
+			if rss, perr := strconv.ParseUint(st["rss_bytes"], 10, 64); perr == nil && rss > 0 {
+				fmt.Printf("churn: rss_bytes=%d hit_rate_per_rss_mib=%.6f\n",
+					rss, hitRate/(float64(rss)/(1<<20)))
+			}
 		}
-		sort.Strings(keys)
-		fmt.Println("server stats after run:")
-		for _, k := range keys {
-			fmt.Printf("  %s %s\n", k, st[k])
+		if *showStats {
+			keys := make([]string, 0, len(st))
+			for k := range st {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("server stats after run:")
+			for _, k := range keys {
+				fmt.Printf("  %s %s\n", k, st[k])
+			}
 		}
 	}
 	if errOps.Load() > 0 {

@@ -38,6 +38,7 @@ import (
 	"alaska/internal/rt"
 	"alaska/internal/server"
 	"alaska/internal/stats"
+	"alaska/internal/ycsb"
 )
 
 // result is one benchmark shape's measurement.
@@ -51,6 +52,10 @@ type result struct {
 	P50Us       float64 `json:"p50_us"`
 	P99Us       float64 `json:"p99_us"`
 	P999Us      float64 `json:"p999_us"`
+	// Ceiling-churn fields: cache effectiveness under a fixed -m budget.
+	HitRate          float64 `json:"hit_rate,omitempty"`
+	RSSBytes         uint64  `json:"rss_bytes,omitempty"`
+	HitRatePerRSSMiB float64 `json:"hit_rate_per_rss_mib,omitempty"`
 }
 
 // run is one full runner invocation's output.
@@ -87,23 +92,10 @@ func main() {
 	note := flag.String("note", "", "free-form provenance note stored in the result")
 	commit := flag.String("commit", "", "commit id stored in the result")
 	maxGetAllocs := flag.Float64("max-get-allocs", -1, "fail (exit 1) if get_hit allocs/op exceeds this; negative disables")
+	churnCeiling := flag.Uint64("churn-ceiling", 8<<20, "store-wide memory cap for the ceiling_churn_* shapes; 0 skips them")
 	flag.Parse()
 
-	var backend kv.Backend
-	switch *backendName {
-	case "malloc":
-		backend = kv.NewMallocBackend()
-	case "mesh":
-		backend = kv.NewMeshBackend(1)
-	case "anchorage":
-		ab, err := kv.NewAnchorageBackend(anchorage.DefaultConfig(), rt.WithPinMode(rt.CountedPins))
-		if err != nil {
-			log.Fatalf("anchorage backend: %v", err)
-		}
-		backend = ab
-	default:
-		log.Fatalf("unknown -backend %q", *backendName)
-	}
+	backend := newBackend(*backendName)
 
 	store := kv.NewShardedStore(backend, 8, 0)
 	srv := server.New(store, server.Config{
@@ -165,9 +157,23 @@ func main() {
 	}))
 	cur.Results = append(cur.Results, measurePipelined(srv.Addr(), *ops, *pipeline, *valueSize))
 
+	// Ceiling churn: the same fixed -m budget across all three backends,
+	// zipfian get + set-on-miss over a keyspace that dwarfs the ceiling.
+	// The figure of merit is hit rate per RSS MiB: a defragmenting heap
+	// keeps more live values resident for the same budget.
+	if *churnCeiling > 0 {
+		for _, name := range []string{"malloc", "mesh", "anchorage"} {
+			cur.Results = append(cur.Results, measureCeilingChurn(name, *churnCeiling, *ops, *valueSize))
+		}
+	}
+
 	for _, r := range cur.Results {
-		log.Printf("%-18s %9.0f ops/s  %8.0f ns/op  %7.1f B/op  %6.3f allocs/op  p99=%.1fµs",
-			r.Name, r.OpsPerSec, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.P99Us)
+		extra := ""
+		if r.HitRate > 0 {
+			extra = fmt.Sprintf("  hit_rate=%.3f rss=%dB hit/MiB=%.4f", r.HitRate, r.RSSBytes, r.HitRatePerRSSMiB)
+		}
+		log.Printf("%-22s %9.0f ops/s  %8.0f ns/op  %7.1f B/op  %6.3f allocs/op  p99=%.1fµs%s",
+			r.Name, r.OpsPerSec, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.P99Us, extra)
 	}
 
 	// Preserve an existing baseline block; the current block is replaced.
@@ -195,6 +201,105 @@ func main() {
 			}
 		}
 	}
+}
+
+func newBackend(name string) kv.Backend {
+	switch name {
+	case "malloc":
+		return kv.NewMallocBackend()
+	case "mesh":
+		return kv.NewMeshBackend(1)
+	case "anchorage":
+		ab, err := kv.NewAnchorageBackend(anchorage.DefaultConfig(), rt.WithPinMode(rt.CountedPins))
+		if err != nil {
+			log.Fatalf("anchorage backend: %v", err)
+		}
+		return ab
+	default:
+		log.Fatalf("unknown -backend %q", name)
+		return nil
+	}
+}
+
+// measureCeilingChurn boots a fresh capped server on the named backend
+// and churns it: zipfian gets with set-on-miss over a keyspace ~4x the
+// ceiling, background maintenance live so defragmenting backends get to
+// defragment. Reports hit rate, end-of-run RSS, and hit rate per RSS
+// MiB, and fails hard if charged bytes ever end above the ceiling.
+func measureCeilingChurn(backendName string, ceiling uint64, n, valueSize int) result {
+	store := kv.NewShardedStore(newBackend(backendName), 8, ceiling)
+	srv := server.New(store, server.Config{
+		Addr:             "127.0.0.1:0",
+		Version:          "bench-churn",
+		MaintainInterval: 5 * time.Millisecond,
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("churn %s: listen: %v", backendName, err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Shutdown(2 * time.Second)
+
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		log.Fatalf("churn %s: dial: %v", backendName, err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	records := int(4 * ceiling / uint64(valueSize))
+	gen, err := ycsb.NewGenerator(ycsb.WorkloadC, records, valueSize, 1)
+	if err != nil {
+		log.Fatalf("churn %s: %v", backendName, err)
+	}
+	op := func() (bool, error) {
+		key := gen.Next().Key
+		_, _, ok, err := cl.Get(key)
+		if err != nil || ok {
+			return ok, err
+		}
+		return false, cl.Set(key, 0, val)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := op(); err != nil {
+			log.Fatalf("churn %s warmup: %v", backendName, err)
+		}
+	}
+	var hits, misses int
+	lat := stats.NewLatencyRecorder()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		hit, err := op()
+		if err != nil {
+			log.Fatalf("churn %s: %v", backendName, err)
+		}
+		lat.Record(time.Since(t0))
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	snap := store.Snapshot()
+	if snap.Bytes > snap.LimitMaxbytes {
+		log.Fatalf("churn %s: bytes %d exceeds limit_maxbytes %d", backendName, snap.Bytes, snap.LimitMaxbytes)
+	}
+	r := summarize("ceiling_churn_"+backendName, n, wall, &before, &after, lat, 1)
+	r.HitRate = float64(hits) / float64(hits+misses)
+	r.RSSBytes = snap.RSS
+	if snap.RSS > 0 {
+		r.HitRatePerRSSMiB = r.HitRate / (float64(snap.RSS) / (1 << 20))
+	}
+	return r
 }
 
 // measure runs op n times after a warmup, collecting wall-clock

@@ -91,6 +91,9 @@ func main() {
 	if *shards < 1 {
 		log.Fatalf("-shards must be >= 1")
 	}
+	if maxMem > 0 && maxMem < maxVal {
+		log.Fatalf("-max-memory (%s) must be at least -max-value-size (%s): a cache that cannot hold its largest value rejects every store of that size", *maxMemory, *maxValue)
+	}
 
 	var backend kv.Backend
 	switch *backendName {
@@ -111,7 +114,11 @@ func main() {
 		log.Fatalf("unknown -backend %q (want malloc|mesh|anchorage)", *backendName)
 	}
 
-	store := kv.NewShardedStore(backend, *shards, maxMem/uint64(*shards))
+	// The ceiling is store-wide, memcached -m style: the shards share one
+	// budget, so hot shards can use room cold shards don't need (the old
+	// per-shard maxMem/shards split also truncated to 0 when the cap was
+	// smaller than the shard count).
+	store := kv.NewShardedStore(backend, *shards, maxMem)
 	srv := server.New(store, server.Config{
 		Addr:             *addr,
 		MaxValueSize:     int(maxVal),

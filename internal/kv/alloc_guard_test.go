@@ -1,0 +1,49 @@
+//go:build !race
+
+package kv
+
+// Allocation guard for the eviction path: churning sets against a full
+// memory ceiling — every insert evicts a victim, often spilling across
+// shards — must stay allocation-free apart from interning the brand-new
+// key, because evicted entry structs are recycled through the shard
+// free lists and the intrusive LRU links without node allocations.
+// (Excluded under -race: the detector's instrumentation allocates.)
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestAllocEvictionChurnSet(t *testing.T) {
+	const valLen = 256
+	keys := make([][]byte, 4096)
+	for i := range keys {
+		keys[i] = []byte("churn" + strconv.Itoa(10000+i))
+	}
+	ceiling := 64 * entryCost(len(keys[0]), valLen)
+	s := NewShardedStore(NewMallocBackend(), 8, ceiling)
+	sess := s.NewSession()
+	defer sess.Close()
+	val := make([]byte, valLen)
+	// Warm past the fill phase so every measured set runs under pressure.
+	for i := 0; i < 512; i++ {
+		if _, err := s.SetExBytes(sess, keys[i%len(keys)], val, SetAlways, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 512
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, err := s.SetExBytes(sess, keys[i%len(keys)], val, SetAlways, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// The single permitted allocation is the new key's string intern.
+	if avg > 1 {
+		t.Fatalf("eviction-churn set allocates %.2f allocs/op, want <= 1 (key intern only)", avg)
+	}
+	if snap := s.Snapshot(); snap.Evictions == 0 {
+		t.Fatal("no evictions; the guard measured an unpressured store")
+	}
+}

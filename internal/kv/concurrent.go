@@ -1,8 +1,8 @@
 package kv
 
 import (
-	"container/list"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,8 +23,14 @@ import (
 type ShardedStore struct {
 	backend Backend
 	shards  []*shard
-	// MaxMemoryPerShard caps each shard's byte usage (0 = unlimited).
-	MaxMemoryPerShard uint64
+	// maxMemory is the store-wide charged-byte ceiling — memcached's -m,
+	// global across shards (0 = unlimited). used is the charged total
+	// (Σ value + key + EntryOverhead per live entry, plus in-flight
+	// reservations); inserts reserve against it with a CAS before
+	// linking, so `bytes` can never exceed `limit_maxbytes`, not even
+	// transiently between concurrent inserts.
+	maxMemory uint64
+	used      atomic.Int64
 	// Clock supplies the wall-clock time used for expiry decisions; nil
 	// means time.Now. Swap in a fake before serving traffic to make TTL
 	// behavior deterministic in tests.
@@ -47,6 +53,10 @@ type shardCounters struct {
 	hits, misses             atomic.Int64
 	deleteHits, deleteMisses atomic.Int64
 	evictions, expired       atomic.Int64
+	// reclaimed counts dead entries the eviction walk removed under
+	// pressure; evictedUnfetched counts evictions of never-fetched
+	// entries (see StatsSnapshot).
+	reclaimed, evictedUnfetched atomic.Int64
 	casHits                  atomic.Int64
 	casBadval, casMisses     atomic.Int64
 	incrHits, incrMisses     atomic.Int64
@@ -88,6 +98,8 @@ func (c *shardCounters) addTo(out *StatsSnapshot) {
 	out.DeleteHits += c.deleteHits.Load()
 	out.DeleteMisses += c.deleteMisses.Load()
 	out.Evictions += c.evictions.Load()
+	out.Reclaimed += c.reclaimed.Load()
+	out.EvictedUnfetched += c.evictedUnfetched.Load()
 	out.Expired += c.expired.Load()
 	out.CasHits += c.casHits.Load()
 	out.CasBadval += c.casBadval.Load()
@@ -104,8 +116,10 @@ func (c *shardCounters) addTo(out *StatsSnapshot) {
 type shard struct {
 	mu    sync.Mutex
 	index map[string]*entry
-	lru   *list.List
-	used  uint64
+	lru   lruList
+	free  entryFreeList
+	// used is the shard's charged byte total (Σ entry cost).
+	used uint64
 	// ttl counts live entries carrying a deadline, so the sweep can skip
 	// the shard outright for TTL-free workloads.
 	ttl   int
@@ -113,6 +127,22 @@ type shard struct {
 	// flushedFor is the flush_all epoch this shard has been fully swept
 	// for, so each flush costs exactly one full scan per shard.
 	flushedFor int64
+	// tailStamp is the lastUsed unixnano of the LRU tail (MaxInt64 when
+	// the shard is empty), republished under sh.mu whenever the tail
+	// changes. Other shards read it lock-free to pick the globally
+	// coldest victim when their own LRU runs dry under the global
+	// ceiling.
+	tailStamp atomic.Int64
+}
+
+// noteTail republishes the LRU tail's recency stamp. Caller holds sh.mu
+// and must invoke it after any mutation that can change the tail.
+func (sh *shard) noteTail() {
+	if tail := sh.lru.back(); tail != nil {
+		sh.tailStamp.Store(tail.lastUsed)
+	} else {
+		sh.tailStamp.Store(math.MaxInt64)
+	}
 }
 
 // setDeadline rewrites e's deadline, keeping the shard's ttl-entry count
@@ -141,14 +171,23 @@ const (
 	SetReplace
 )
 
-// NewShardedStore builds a store with n shards.
-func NewShardedStore(b Backend, n int, maxPerShard uint64) *ShardedStore {
-	st := &ShardedStore{backend: b, MaxMemoryPerShard: maxPerShard}
+// NewShardedStore builds a store with n shards under one store-wide
+// memory ceiling of maxMemory charged bytes (0 = unlimited) — memcached
+// -m semantics, not a per-shard split, so a cap below the shard count
+// still limits and zipfian traffic cannot evict hot shards while cold
+// shards idle under budget.
+func NewShardedStore(b Backend, n int, maxMemory uint64) *ShardedStore {
+	st := &ShardedStore{backend: b, maxMemory: maxMemory}
 	for i := 0; i < n; i++ {
-		st.shards = append(st.shards, &shard{index: make(map[string]*entry), lru: list.New()})
+		sh := &shard{index: make(map[string]*entry)}
+		sh.tailStamp.Store(math.MaxInt64)
+		st.shards = append(st.shards, sh)
 	}
 	return st
 }
+
+// MaxMemory returns the store-wide charged-byte ceiling (0 = unlimited).
+func (s *ShardedStore) MaxMemory() uint64 { return s.maxMemory }
 
 // Backend returns the underlying backend.
 func (s *ShardedStore) Backend() Backend { return s.backend }
@@ -184,16 +223,22 @@ func (s *ShardedStore) shardForB(key []byte) *shard {
 	return s.shards[h%uint32(len(s.shards))]
 }
 
-// removeLocked frees e's storage and unlinks it. Caller holds sh.mu.
+// removeLocked frees e's storage, refunds its charged bytes (shard and
+// store-wide), and unlinks it; the struct goes to the shard's free list
+// for reuse. Caller holds sh.mu.
 func (s *ShardedStore) removeLocked(sh *shard, e *entry) {
-	sh.used -= e.size
+	cost := e.cost()
+	sh.used -= cost
+	s.used.Add(-int64(cost))
 	_ = s.backend.Free(e.ref, e.size)
-	sh.lru.Remove(e.el)
+	sh.lru.remove(e)
 	delete(sh.index, e.key)
 	sh.stats.keys.Add(-1)
 	if !e.expireAt.IsZero() {
 		sh.ttl--
 	}
+	sh.free.put(e)
+	sh.noteTail()
 }
 
 // deadAt reports whether e is dead at now: past its own deadline, or
@@ -242,65 +287,195 @@ func (s *ShardedStore) lookupLockedB(sh *shard, key []byte, now time.Time) (*ent
 	return s.liveLocked(sh, e, ok, now)
 }
 
-// insertLocked allocates, writes, and links key's new value. Room is
-// made first: LRU entries are evicted until the new value fits, with the
-// replaced entry's bytes discounted (an in-place overwrite needs no net
-// room) but its removal deferred until the new value is durably written,
-// so a failed store leaves the previous value intact. The old entry is
-// re-looked-up each round (and again after the write) because the
-// eviction walk may evict it.
+// insertLocked allocates, writes, and links key's new value. Under a
+// ceiling, room is reserved first (makeRoomLocked): the budget delta is
+// claimed with a CAS before the write, while the replaced entry's
+// removal is still deferred until the new value is durably written — so
+// a failed store leaves the previous value intact AND refunds its
+// reservation, and the charged total never exceeds the ceiling even
+// transiently.
 //
 // An overwrite of a surviving entry is performed in place — the entry
-// struct, its LRU node, and its interned key string are all reused — so
-// the steady-state set path allocates nothing; only a brand-new key
-// interns a string and links fresh nodes. Caller holds sh.mu.
+// struct, its LRU links, and its interned key string are all reused —
+// and a brand-new key reuses an evicted entry struct off the shard's
+// free list, so the steady-state set path (including eviction churn at
+// the ceiling) allocates nothing; only a brand-new key interns a
+// string. Caller holds sh.mu.
 func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value []byte, expireAt time.Time) error {
-	if s.MaxMemoryPerShard > 0 {
-		for {
-			used := sh.used
-			if old, ok := sh.index[string(key)]; ok {
-				used -= old.size
-			}
-			if used+uint64(len(value)) <= s.MaxMemoryPerShard {
-				break
-			}
-			back := sh.lru.Back()
-			if back == nil {
-				break
-			}
-			s.removeLocked(sh, back.Value.(*entry))
-			sh.stats.evictions.Add(1)
+	now := s.now()
+	newCost := entryCost(len(key), len(value))
+	var reserved uint64
+	if s.maxMemory > 0 {
+		if newCost > s.maxMemory {
+			// Can never fit: reject with the LRU untouched rather than
+			// evicting the whole store and storing over the cap anyway.
+			return fmt.Errorf("kv: sharded store %q: %w", string(key), ErrTooLarge)
+		}
+		var err error
+		if reserved, err = s.makeRoomLocked(sh, key, newCost, now); err != nil {
+			return fmt.Errorf("kv: sharded store %q: %w", string(key), err)
 		}
 	}
 	ref, err := s.backend.Alloc(uint64(len(value)))
 	if err != nil {
+		s.used.Add(-int64(reserved))
 		return fmt.Errorf("kv: sharded store %q: %w", string(key), err)
 	}
 	if err := sess.Write(ref, 0, value); err != nil {
 		_ = s.backend.Free(ref, uint64(len(value)))
+		s.used.Add(-int64(reserved))
 		return err
 	}
 	if old, ok := sh.index[string(key)]; ok {
 		// In-place overwrite: free the replaced bytes, rewrite the entry.
-		sh.used -= old.size
+		oldCost := old.cost()
+		sh.used += newCost - oldCost
+		// Settle the global counter: the net change is newCost-oldCost,
+		// of which `reserved` was already added by makeRoomLocked.
+		s.used.Add(int64(newCost) - int64(oldCost) - int64(reserved))
 		_ = s.backend.Free(old.ref, old.size)
 		old.ref = ref
 		old.size = uint64(len(value))
-		old.storedAt = s.now()
+		old.storedAt = now
+		old.fetched = false
+		old.lastUsed = now.UnixNano()
 		sh.setDeadline(old, expireAt)
-		sh.lru.MoveToFront(old.el)
-		sh.used += old.size
+		sh.lru.moveToFront(old)
+		sh.noteTail()
 		return nil
 	}
-	e := &entry{key: string(key), ref: ref, size: uint64(len(value)), expireAt: expireAt, storedAt: s.now()}
-	e.el = sh.lru.PushFront(e)
+	e := sh.free.get()
+	if e == nil {
+		e = &entry{}
+	}
+	e.key, e.ref, e.size = string(key), ref, uint64(len(value))
+	e.expireAt, e.storedAt = expireAt, now
+	e.lastUsed = now.UnixNano()
+	sh.lru.pushFront(e)
 	sh.index[e.key] = e
 	sh.stats.keys.Add(1)
-	sh.used += e.size
+	sh.used += newCost
+	s.used.Add(int64(newCost) - int64(reserved))
 	if !expireAt.IsZero() {
 		sh.ttl++
 	}
+	sh.noteTail()
 	return nil
+}
+
+// tryReserve CASes n bytes out of the global budget, failing when the
+// ceiling would be exceeded.
+func (s *ShardedStore) tryReserve(n uint64) bool {
+	for {
+		u := s.used.Load()
+		if uint64(u)+n > s.maxMemory {
+			return false
+		}
+		if s.used.CompareAndSwap(u, u+int64(n)) {
+			return true
+		}
+	}
+}
+
+// spillRounds bounds how many consecutive no-progress rounds
+// makeRoomLocked tolerates before giving up with ErrNoRoom. Rounds that
+// evict something reset the count, so this only limits pathological
+// spinning when every other shard is empty or lock-contended while
+// concurrent reservations hold the budget.
+const spillRounds = 64
+
+// makeRoomLocked reserves the global-budget delta a newCost-byte insert
+// of key needs, evicting until the reservation succeeds: the inserting
+// shard's own LRU first, then — when it runs dry — the globally coldest
+// other shards (best-effort, via their lock-free tail stamps and
+// TryLock, so two inserting shards can never deadlock on each other).
+// The replaced entry's cost is discounted but the entry itself is left
+// in place for insertLocked to settle after a durable write. Returns
+// the bytes reserved. Caller holds sh.mu.
+func (s *ShardedStore) makeRoomLocked(sh *shard, key []byte, newCost uint64, now time.Time) (uint64, error) {
+	stuck := 0
+	for {
+		credit := uint64(0)
+		if old, ok := sh.index[string(key)]; ok {
+			// Only this lock-holder can evict from sh, so the credit
+			// cannot be invalidated between here and the reservation.
+			credit = old.cost()
+		}
+		if newCost <= credit {
+			return 0, nil
+		}
+		need := newCost - credit
+		if s.tryReserve(need) {
+			return need, nil
+		}
+		if s.evictOneLocked(sh, now) || s.evictColdest(sh, now) {
+			stuck = 0
+			continue
+		}
+		if stuck++; stuck >= spillRounds {
+			return 0, ErrNoRoom
+		}
+	}
+}
+
+// evictOneLocked removes sh's LRU tail, classifying the removal: a dead
+// victim (expired / flushed) is a reclaim, a live one an eviction (and
+// evicted_unfetched if never read). Caller holds sh.mu. Returns false
+// when the shard is empty.
+func (s *ShardedStore) evictOneLocked(sh *shard, now time.Time) bool {
+	victim := sh.lru.back()
+	if victim == nil {
+		return false
+	}
+	if s.deadAt(victim, now) {
+		sh.stats.reclaimed.Add(1)
+	} else {
+		sh.stats.evictions.Add(1)
+		if !victim.fetched {
+			sh.stats.evictedUnfetched.Add(1)
+		}
+	}
+	s.removeLocked(sh, victim)
+	return true
+}
+
+// evictColdest evicts one entry from the globally coldest shard other
+// than me (the shard whose LRU tail is stalest, per the lock-free tail
+// stamps). Victim shards are TryLocked — me's lock is already held, and
+// blocking here could deadlock two spilling inserters — so under
+// contention the next-best shard is taken instead. Returns whether
+// anything was evicted.
+func (s *ShardedStore) evictColdest(me *shard, now time.Time) bool {
+	var coldest *shard
+	coldestTS := int64(math.MaxInt64)
+	for _, cand := range s.shards {
+		if cand == me {
+			continue
+		}
+		if ts := cand.tailStamp.Load(); ts < coldestTS {
+			coldestTS, coldest = ts, cand
+		}
+	}
+	if coldest != nil && coldest.mu.TryLock() {
+		ok := s.evictOneLocked(coldest, now)
+		coldest.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	// Coldest shard contended or raced empty: take any other shard we
+	// can get rather than stalling the insert.
+	for _, cand := range s.shards {
+		if cand == me || cand == coldest || !cand.mu.TryLock() {
+			continue
+		}
+		ok := s.evictOneLocked(cand, now)
+		cand.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Set stores key=value through the worker's session.
@@ -392,6 +567,7 @@ func (s *ShardedStore) apply(sess Session, sh *shard, key []byte, needValue bool
 		if err := sess.Read(e.ref, 0, old); err != nil {
 			return scratch, err
 		}
+		e.fetched = true // an RMW read counts as a fetch, like memcached's
 	}
 	op := fn(old, found)
 	// The counter is bumped only once the verdict has actually taken
@@ -406,7 +582,9 @@ func (s *ShardedStore) apply(sess Session, sh *shard, key []byte, needValue bool
 	case ApplyTouch:
 		if found {
 			sh.setDeadline(e, op.Expire)
-			sh.lru.MoveToFront(e.el)
+			e.lastUsed = s.now().UnixNano()
+			sh.lru.moveToFront(e)
+			sh.noteTail()
 		}
 	case ApplyStore:
 		expire := op.Expire
@@ -504,7 +682,8 @@ func (s *ShardedStore) getInto(sess Session, sh *shard, key []byte, touch bool, 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.stats.gets.Add(1)
-	e, ok := s.lookupLockedB(sh, key, s.now())
+	now := s.now()
+	e, ok := s.lookupLockedB(sh, key, now)
 	if !ok {
 		sh.stats.misses.Add(1)
 		if touch {
@@ -513,7 +692,10 @@ func (s *ShardedStore) getInto(sess Session, sh *shard, key []byte, touch bool, 
 		return buf, false, nil
 	}
 	sh.stats.hits.Add(1)
-	sh.lru.MoveToFront(e.el)
+	e.fetched = true
+	e.lastUsed = now.UnixNano()
+	sh.lru.moveToFront(e)
+	sh.noteTail()
 	buf = growBytes(buf, int(e.size))
 	out := buf[:e.size]
 	if err := sess.Read(e.ref, 0, out); err != nil {
@@ -636,7 +818,63 @@ func (s *ShardedStore) Snapshot() StatsSnapshot {
 		sh.stats.addTo(&out)
 	}
 	out.ExpirySweeps = s.sweeps.Load()
+	out.Bytes = uint64(s.used.Load())
+	out.LimitMaxbytes = s.maxMemory
 	out.Used = s.backend.UsedBytes()
 	out.RSS = s.backend.RSS()
+	return out
+}
+
+// ItemsStats is one shard's row set for the `stats items`-style
+// per-state accounting: live-item counts and bytes alongside the
+// pressure counters, plus the age of the LRU tail.
+type ItemsStats struct {
+	// Number is the live-entry count; Bytes their charged total.
+	Number int
+	Bytes  uint64
+	// AgeSeconds is how long the LRU tail has gone untouched (0 when
+	// the shard is empty).
+	AgeSeconds float64
+	// NumberWithTTL counts live entries carrying a deadline;
+	// NumberFetched counts live entries read at least once since stored.
+	NumberWithTTL int
+	NumberFetched int
+	// Pressure and expiry counters, per shard (see StatsSnapshot).
+	Evictions        int64
+	Reclaimed        int64
+	EvictedUnfetched int64
+	Expired          int64
+}
+
+// ItemsSnapshot returns per-shard item accounting — the payload of the
+// server's `stats items`. Each shard is locked briefly to read a
+// consistent row; the live-entry walk for the fetched count is bounded
+// by the shard's size (stats items is an admin command, not a hot
+// path).
+func (s *ShardedStore) ItemsSnapshot() []ItemsStats {
+	now := s.now()
+	out := make([]ItemsStats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		row := ItemsStats{
+			Number:           len(sh.index),
+			Bytes:            sh.used,
+			NumberWithTTL:    sh.ttl,
+			Evictions:        sh.stats.evictions.Load(),
+			Reclaimed:        sh.stats.reclaimed.Load(),
+			EvictedUnfetched: sh.stats.evictedUnfetched.Load(),
+			Expired:          sh.stats.expired.Load(),
+		}
+		if tail := sh.lru.back(); tail != nil {
+			row.AgeSeconds = now.Sub(time.Unix(0, tail.lastUsed)).Seconds()
+		}
+		for _, e := range sh.index {
+			if e.fetched {
+				row.NumberFetched++
+			}
+		}
+		sh.mu.Unlock()
+		out[i] = row
+	}
 	return out
 }

@@ -10,8 +10,14 @@ type StatsSnapshot struct {
 	Hits, Misses int64
 	// DeleteHits and DeleteMisses partition deletes.
 	DeleteHits, DeleteMisses int64
-	// Evictions counts LRU evictions.
-	Evictions int64
+	// Evictions counts live entries removed under memory pressure.
+	// Reclaimed counts dead (expired / flush_all-epoch) entries the
+	// eviction walk removed instead — pressure finding garbage is
+	// reclamation, not eviction. EvictedUnfetched counts evictions of
+	// entries never fetched since they were stored.
+	Evictions        int64
+	Reclaimed        int64
+	EvictedUnfetched int64
 	// Expired counts entries reclaimed past their deadline, whether by
 	// lazy expiry on access or by the Maintain sweep. ExpirySweeps counts
 	// sweep rounds run.
@@ -27,6 +33,10 @@ type StatsSnapshot struct {
 	TouchHits, TouchMisses int64
 	// Keys is the current live-key count.
 	Keys int
+	// Bytes is the charged item-byte total (value + key + EntryOverhead
+	// per entry — memcached's `bytes`); LimitMaxbytes is the memory
+	// ceiling it is held under (0 = unlimited).
+	Bytes, LimitMaxbytes uint64
 	// Used is the allocator-level live-byte count (used_memory); RSS is
 	// the backend's resident set.
 	Used, RSS uint64

@@ -1,7 +1,6 @@
 package kv
 
 import (
-	"container/list"
 	"fmt"
 	"time"
 )
@@ -14,17 +13,28 @@ import (
 type Store struct {
 	backend Backend
 	session Session
-	// MaxMemory is the eviction threshold over UsedBytes (0 = unlimited).
+	// MaxMemory caps the store's charged bytes — Σ per-entry cost
+	// (value + key + EntryOverhead), memcached's `bytes` accounting —
+	// with LRU eviction applied under pressure (0 = unlimited).
 	MaxMemory uint64
 	// Clock supplies the wall-clock time used for expiry decisions; nil
 	// means time.Now. Swap in a fake for deterministic TTL tests.
 	Clock func() time.Time
 
 	index map[string]*entry
-	lru   *list.List // front = most recently used
+	lru   lruList // front = most recently used
+	free  entryFreeList
+	// used is the charged byte total over all live entries.
+	used uint64
 
-	// Evictions counts LRU evictions.
-	Evictions int64
+	// Evictions counts live entries removed under memory pressure;
+	// Reclaimed counts dead (expired / flushed) entries the eviction walk
+	// removed instead — freeing those is reclamation, not eviction.
+	// EvictedUnfetched counts evictions of entries never fetched since
+	// they were stored (memcached's evicted_unfetched).
+	Evictions        int64
+	Reclaimed        int64
+	EvictedUnfetched int64
 	// Sets and Gets count operations; Hits/Misses partition Gets and
 	// DeleteHits/DeleteMisses partition Dels.
 	Sets, Gets               int64
@@ -55,7 +65,16 @@ type entry struct {
 	// store-wide epoch compares against (touch moves expireAt only, so a
 	// touched value cannot escape a flush).
 	storedAt time.Time
-	el       *list.Element
+	// prev/next link the entry into its LRU list (lru.go); next doubles
+	// as the free-list chain once the entry is recycled.
+	prev, next *entry
+	// fetched records whether the value has been read since it was last
+	// stored — evicting a never-fetched entry counts as evicted_unfetched.
+	fetched bool
+	// lastUsed is the unixnano of the entry's last store or LRU touch;
+	// the sharded store publishes its tail's stamp for coldest-shard
+	// eviction spill.
+	lastUsed int64
 }
 
 // NewStore builds a store over the backend. For the Anchorage backend the
@@ -73,7 +92,6 @@ func NewStore(b Backend, maxMemory uint64) *Store {
 		session:   s,
 		MaxMemory: maxMemory,
 		index:     make(map[string]*entry),
-		lru:       list.New(),
 	}
 	if ad, ok := b.(*ActiveDefragBackend); ok {
 		ad.Iterator = st.iterateRefs
@@ -144,22 +162,29 @@ func (s *Store) SetEx(key string, value []byte, expireAt time.Time) error {
 // insert is the uncounted store path shared by SetEx and Apply (RMW
 // write-backs are not `set` commands, so they skip the Sets counter).
 func (s *Store) insert(key string, value []byte, expireAt time.Time) error {
-	// Evict until the new value fits (Redis's freeMemoryIfNeeded). The
-	// replaced entry's bytes are discounted — an in-place overwrite needs
-	// no net room — but its actual removal is deferred until the new
-	// value is durably written, so a failed store (in particular a failed
-	// Apply write-back) leaves the previous value intact. The old entry
-	// is re-looked-up each round because the LRU walk may evict it.
+	newCost := entryCost(len(key), len(value))
 	if s.MaxMemory > 0 {
+		// An item costing more than the entire budget can never fit:
+		// reject it up front with the LRU untouched, rather than evicting
+		// the whole store and then storing it over the cap anyway.
+		if newCost > s.MaxMemory {
+			return fmt.Errorf("kv: set %q: %w", key, ErrTooLarge)
+		}
+		// Evict until the new value fits (Redis's freeMemoryIfNeeded). The
+		// replaced entry's bytes are discounted — an in-place overwrite needs
+		// no net room — but its actual removal is deferred until the new
+		// value is durably written, so a failed store (in particular a failed
+		// Apply write-back) leaves the previous value intact. The old entry
+		// is re-looked-up each round because the LRU walk may evict it.
 		for {
-			used := s.backend.UsedBytes()
+			used := s.used
 			if old, ok := s.index[key]; ok {
-				used -= old.size
+				used -= old.cost()
 			}
-			if used+uint64(len(value)) <= s.MaxMemory {
+			if used+newCost <= s.MaxMemory {
 				break
 			}
-			if !s.evictLRU() {
+			if !s.evictOne() {
 				break
 			}
 		}
@@ -175,9 +200,17 @@ func (s *Store) insert(key string, value []byte, expireAt time.Time) error {
 	if old, ok := s.index[key]; ok {
 		s.removeEntry(old)
 	}
-	e := &entry{key: key, ref: ref, size: uint64(len(value)), expireAt: expireAt, storedAt: s.now()}
-	e.el = s.lru.PushFront(e)
+	e := s.free.get()
+	if e == nil {
+		e = &entry{}
+	}
+	now := s.now()
+	e.key, e.ref, e.size = key, ref, uint64(len(value))
+	e.expireAt, e.storedAt = expireAt, now
+	e.lastUsed = now.UnixNano()
+	s.lru.pushFront(e)
 	s.index[key] = e
+	s.used += newCost
 	if !expireAt.IsZero() {
 		s.ttlEntries++
 	}
@@ -213,7 +246,9 @@ func (s *Store) GetInto(key string, buf []byte) ([]byte, bool, error) {
 	if err := s.session.Read(e.ref, 0, out); err != nil {
 		return buf, false, err
 	}
-	s.lru.MoveToFront(e.el)
+	e.fetched = true
+	e.lastUsed = s.now().UnixNano()
+	s.lru.moveToFront(e)
 	return out, true, nil
 }
 
@@ -263,6 +298,7 @@ func (s *Store) applyInto(key string, needValue bool, scratch []byte, fn func(ol
 		if err := s.session.Read(e.ref, 0, old); err != nil {
 			return scratch, err
 		}
+		e.fetched = true // an RMW read counts as a fetch, like memcached's
 	}
 	op := fn(old, found)
 	// Bump only once the verdict has taken effect (see ShardedStore).
@@ -275,7 +311,8 @@ func (s *Store) applyInto(key string, needValue bool, scratch []byte, fn func(ol
 	case ApplyTouch:
 		if found {
 			s.setDeadline(e, op.Expire)
-			s.lru.MoveToFront(e.el)
+			e.lastUsed = s.now().UnixNano()
+			s.lru.moveToFront(e)
 		}
 	case ApplyStore:
 		expire := op.Expire
@@ -356,20 +393,27 @@ func (s *Store) Snapshot() StatsSnapshot {
 	out.DeleteHits = s.DeleteHits
 	out.DeleteMisses = s.DeleteMisses
 	out.Evictions = s.Evictions
+	out.Reclaimed = s.Reclaimed
+	out.EvictedUnfetched = s.EvictedUnfetched
 	out.Keys = len(s.index)
+	out.Bytes = s.used
+	out.LimitMaxbytes = s.MaxMemory
 	out.Used = s.backend.UsedBytes()
 	out.RSS = s.backend.RSS()
 	return out
 }
 
-// removeEntry frees the entry's storage and unlinks it.
+// removeEntry frees the entry's storage, refunds its charged bytes, and
+// unlinks it; the struct goes to the free list for reuse.
 func (s *Store) removeEntry(e *entry) {
+	s.used -= e.cost()
 	_ = s.backend.Free(e.ref, e.size)
-	s.lru.Remove(e.el)
+	s.lru.remove(e)
 	delete(s.index, e.key)
 	if !e.expireAt.IsZero() {
 		s.ttlEntries--
 	}
+	s.free.put(e)
 }
 
 // setDeadline rewrites e's deadline, keeping the ttlEntries count exact.
@@ -384,15 +428,24 @@ func (s *Store) setDeadline(e *entry, expireAt time.Time) {
 	e.expireAt = expireAt
 }
 
-// evictLRU removes the least-recently-used entry; returns false when
-// nothing is left to evict.
-func (s *Store) evictLRU() bool {
-	back := s.lru.Back()
-	if back == nil {
+// evictOne removes the least-recently-used entry; returns false when
+// nothing is left to evict. Removing a dead entry (expired, or behind a
+// reached flush_all epoch) is reclamation, not eviction — memory
+// pressure merely found garbage first.
+func (s *Store) evictOne() bool {
+	victim := s.lru.back()
+	if victim == nil {
 		return false
 	}
-	s.removeEntry(back.Value.(*entry))
-	s.Evictions++
+	if s.deadAt(victim, s.now()) {
+		s.Reclaimed++
+	} else {
+		s.Evictions++
+		if !victim.fetched {
+			s.EvictedUnfetched++
+		}
+	}
+	s.removeEntry(victim)
 	return true
 }
 

@@ -109,7 +109,9 @@ func TestLRUEvictionUnderMaxMemory(t *testing.T) {
 }
 
 func TestGetRefreshesLRU(t *testing.T) {
-	s := NewStore(NewMallocBackend(), 3*100)
+	// Budget for exactly three entries of charged cost (value + 2-byte
+	// key + EntryOverhead each).
+	s := NewStore(NewMallocBackend(), 3*entryCost(2, 100))
 	val := make([]byte, 100)
 	for i := 0; i < 3; i++ {
 		if err := s.Set(fmt.Sprintf("k%d", i), val); err != nil {

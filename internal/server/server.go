@@ -852,7 +852,7 @@ func (h *connHandler) dispatch(line []byte) (quit bool, err error) {
 	case "verbosity":
 		return false, h.doVerbosity(args)
 	case "stats":
-		return false, h.doStats()
+		return false, h.doStats(args)
 	case "version":
 		return false, h.reply("VERSION " + h.srv.cfg.Version)
 	case "quit":
@@ -995,6 +995,11 @@ func (h *connHandler) doStore(op storeOp, args [][]byte) error {
 		if sa.noreply {
 			h.srv.protocolErrors.Add(1)
 			return nil
+		}
+		// A value that cannot fit under the memory ceiling at all is
+		// its own canonical line, whatever the command.
+		if errors.Is(err, kv.ErrTooLarge) {
+			return h.replyError(respTooLarge)
 		}
 		// Plain stores fail on allocation (memcached's canonical line);
 		// an RMW failure may equally be a read fault mid-Apply, so
@@ -1343,8 +1348,15 @@ func (s *Server) statLines() []statLine {
 		{"expired", fmt.Sprintf("%d", snap.Expired)},
 		{"expiry_sweeps", fmt.Sprintf("%d", snap.ExpirySweeps)},
 		{"evictions", fmt.Sprintf("%d", snap.Evictions)},
+		{"reclaimed", fmt.Sprintf("%d", snap.Reclaimed)},
+		{"evicted_unfetched", fmt.Sprintf("%d", snap.EvictedUnfetched)},
 		{"curr_items", fmt.Sprintf("%d", snap.Keys)},
-		{"bytes", fmt.Sprintf("%d", snap.Used)},
+		// bytes is memcached's charged item total (value + key + per-item
+		// overhead) — what limit_maxbytes caps; used_bytes is the
+		// allocator-level live-byte count underneath it.
+		{"bytes", fmt.Sprintf("%d", snap.Bytes)},
+		{"limit_maxbytes", fmt.Sprintf("%d", snap.LimitMaxbytes)},
+		{"used_bytes", fmt.Sprintf("%d", snap.Used)},
 		{"rss_bytes", fmt.Sprintf("%d", snap.RSS)},
 		{"protocol_errors", fmt.Sprintf("%d", s.protocolErrors.Load())},
 		{"latency_mean_us", fmt.Sprintf("%.1f", float64(s.lat.Mean().Nanoseconds())/1e3)},
@@ -1371,10 +1383,44 @@ func (s *Server) statLines() []statLine {
 	return lines
 }
 
-func (h *connHandler) doStats() error {
+func (h *connHandler) doStats(args [][]byte) error {
+	if len(args) > 0 {
+		if len(args) == 1 && string(args[0]) == "items" {
+			return h.doStatsItems()
+		}
+		// Unknown stats sub-command: memcached answers ERROR.
+		return h.replyError(respError)
+	}
 	for _, l := range h.srv.statLines() {
 		if err := h.reply("STAT " + l.name + " " + l.value); err != nil {
 			return err
+		}
+	}
+	return h.reply(respEnd)
+}
+
+// doStatsItems emits `stats items`-style per-shard accounting: one row
+// set per shard (the closest analogue of memcached's per-slab-class
+// item stats), covering live counts, charged bytes, LRU-tail age, and
+// the pressure counters.
+func (h *connHandler) doStatsItems() error {
+	for i, row := range h.srv.store.ItemsSnapshot() {
+		p := fmt.Sprintf("STAT items:%d:", i)
+		lines := []string{
+			fmt.Sprintf("%snumber %d", p, row.Number),
+			fmt.Sprintf("%sbytes %d", p, row.Bytes),
+			fmt.Sprintf("%sage %.0f", p, row.AgeSeconds),
+			fmt.Sprintf("%snumber_with_ttl %d", p, row.NumberWithTTL),
+			fmt.Sprintf("%snumber_fetched %d", p, row.NumberFetched),
+			fmt.Sprintf("%sevicted %d", p, row.Evictions),
+			fmt.Sprintf("%sevicted_unfetched %d", p, row.EvictedUnfetched),
+			fmt.Sprintf("%sreclaimed %d", p, row.Reclaimed),
+			fmt.Sprintf("%sexpired %d", p, row.Expired),
+		}
+		for _, l := range lines {
+			if err := h.reply(l); err != nil {
+				return err
+			}
 		}
 	}
 	return h.reply(respEnd)
