@@ -145,6 +145,7 @@ func main() {
 		}
 		return err
 	}))
+	cur.Results = append(cur.Results, measureNoInstr(*backendName, *ops, *valueSize))
 	cur.Results = append(cur.Results, measure("get_miss", *ops, func() error {
 		_, _, ok, err := cl.Get("bench:nosuchkey")
 		if err == nil && ok {
@@ -219,6 +220,47 @@ func newBackend(name string) kv.Backend {
 		log.Fatalf("unknown -backend %q", name)
 		return nil
 	}
+}
+
+// measureNoInstr reruns the GET-hit shape against a second server with
+// DisableInstrumentation set, so the file carries a metrics-on vs.
+// metrics-off A/B for the same workload. The delta between get_hit and
+// get_hit_noinstr is the whole-plane observability tax: per-opcode
+// histograms, byte counters, and slow-op threshold checks.
+func measureNoInstr(backendName string, n, valueSize int) result {
+	store := kv.NewShardedStore(newBackend(backendName), 8, 0)
+	srv := server.New(store, server.Config{
+		Addr:                   "127.0.0.1:0",
+		Version:                "bench-noinstr",
+		MaintainInterval:       time.Hour,
+		DisableInstrumentation: true,
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("noinstr: listen: %v", err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Shutdown(2 * time.Second)
+
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		log.Fatalf("noinstr: dial: %v", err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	if err := cl.Set("bench:key", 7, val); err != nil {
+		log.Fatalf("noinstr prime: %v", err)
+	}
+	return measure("get_hit_noinstr", n, func() error {
+		_, _, ok, err := cl.Get("bench:key")
+		if err == nil && !ok {
+			return fmt.Errorf("unexpected miss")
+		}
+		return err
+	})
 }
 
 // measureCeilingChurn boots a fresh capped server on the named backend

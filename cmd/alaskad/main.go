@@ -19,7 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +30,7 @@ import (
 
 	"alaska/internal/anchorage"
 	"alaska/internal/kv"
+	"alaska/internal/logx"
 	"alaska/internal/rt"
 	"alaska/internal/server"
 )
@@ -54,9 +56,8 @@ func parseBytes(s string) (uint64, error) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("alaskad: ")
 	addr := flag.String("addr", ":11211", "TCP listen address")
+	adminAddr := flag.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/pprof, /debug/vars, /debug/slowops; empty = disabled")
 	backendName := flag.String("backend", "anchorage", "heap backend: malloc|mesh|anchorage")
 	shards := flag.Int("shards", 32, "store shard count")
 	maxMemory := flag.String("max-memory", "0", "total value-memory cap with LRU eviction (bytes, KiB/MiB/GiB suffixes; 0 = unlimited)")
@@ -70,29 +71,45 @@ func main() {
 	fragHigh := flag.Float64("defrag-frag-high", 1.3, "fragmentation threshold for pause-free concurrent passes (anchorage)")
 	budget := flag.String("defrag-budget", "1MiB", "bytes moved per concurrent defrag pass")
 	seed := flag.Int64("seed", 1, "seed for the mesh backend's probe randomness")
+	slowOp := flag.Duration("slow-op-threshold", 10*time.Millisecond, "record commands slower than this in the slow-op ring (stats slow, /debug/slowops); negative = disabled")
+	verbose := flag.Int("verbose", 0, "log verbosity: 0 errors, 1 lifecycle, 2+ per-connection churn (the wire `verbosity` command changes it at runtime)")
+	noInstr := flag.Bool("disable-instrumentation", false, "turn off per-opcode histograms, byte counters, and the slow-op ring (for A/B measurement; the plane is allocation-free, so leave it on)")
 	flag.Parse()
+
+	logLevel := logx.LevelError
+	switch {
+	case *verbose == 1:
+		logLevel = logx.LevelInfo
+	case *verbose >= 2:
+		logLevel = logx.LevelDebug
+	}
+	logger := logx.New(os.Stderr, "alaskad: ", logLevel)
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
 
 	maxMem, err := parseBytes(*maxMemory)
 	if err != nil {
-		log.Fatalf("bad -max-memory: %v", err)
+		fatalf("bad -max-memory: %v", err)
 	}
 	maxVal, err := parseBytes(*maxValue)
 	if err != nil {
-		log.Fatalf("bad -max-value-size: %v", err)
+		fatalf("bad -max-value-size: %v", err)
 	}
 	defragBudget, err := parseBytes(*budget)
 	if err != nil {
-		log.Fatalf("bad -defrag-budget: %v", err)
+		fatalf("bad -defrag-budget: %v", err)
 	}
 	maxBacklog, err := parseBytes(*replyBacklog)
 	if err != nil {
-		log.Fatalf("bad -max-reply-backlog: %v", err)
+		fatalf("bad -max-reply-backlog: %v", err)
 	}
 	if *shards < 1 {
-		log.Fatalf("-shards must be >= 1")
+		fatalf("-shards must be >= 1")
 	}
 	if maxMem > 0 && maxMem < maxVal {
-		log.Fatalf("-max-memory (%s) must be at least -max-value-size (%s): a cache that cannot hold its largest value rejects every store of that size", *maxMemory, *maxValue)
+		fatalf("-max-memory (%s) must be at least -max-value-size (%s): a cache that cannot hold its largest value rejects every store of that size", *maxMemory, *maxValue)
 	}
 
 	var backend kv.Backend
@@ -107,11 +124,11 @@ func main() {
 		// ConcurrentDefragPass concurrently with writing clients.
 		ab, err := kv.NewAnchorageBackend(anchorage.DefaultConfig(), rt.WithPinMode(rt.CountedPins))
 		if err != nil {
-			log.Fatalf("anchorage backend: %v", err)
+			fatalf("anchorage backend: %v", err)
 		}
 		backend = ab
 	default:
-		log.Fatalf("unknown -backend %q (want malloc|mesh|anchorage)", *backendName)
+		fatalf("unknown -backend %q (want malloc|mesh|anchorage)", *backendName)
 	}
 
 	// The ceiling is store-wide, memcached -m style: the shards share one
@@ -120,34 +137,56 @@ func main() {
 	// smaller than the shard count).
 	store := kv.NewShardedStore(backend, *shards, maxMem)
 	srv := server.New(store, server.Config{
-		Addr:             *addr,
-		MaxValueSize:     int(maxVal),
-		MaintainInterval: *maintain,
-		DefragFragHigh:   *fragHigh,
-		DefragBudget:     defragBudget,
-		Version:          version + "-" + *backendName,
-		MaxConns:         *maxConns,
-		IdleTimeout:      *idleTimeout,
-		WriteTimeout:     *writeTimeout,
-		MaxReplyBacklog:  int(maxBacklog),
-		SpacePaddedDecr:  *padDecr,
+		Addr:                   *addr,
+		MaxValueSize:           int(maxVal),
+		MaintainInterval:       *maintain,
+		DefragFragHigh:         *fragHigh,
+		DefragBudget:           defragBudget,
+		Version:                version + "-" + *backendName,
+		MaxConns:               *maxConns,
+		IdleTimeout:            *idleTimeout,
+		WriteTimeout:           *writeTimeout,
+		MaxReplyBacklog:        int(maxBacklog),
+		SpacePaddedDecr:        *padDecr,
+		SlowOpThreshold:        *slowOp,
+		Logger:                 logger,
+		DisableInstrumentation: *noInstr,
 	})
 	if err := srv.Listen(); err != nil {
-		log.Fatalf("listen: %v", err)
+		fatalf("listen: %v", err)
 	}
-	log.Printf("serving memcached protocol on %s (backend=%s shards=%d max-memory=%s)",
+	// The startup line goes to stderr unconditionally (not through the
+	// leveled logger): scripted runs resolve ":0" addresses from it, and
+	// it is the one-line proof the process came up.
+	fmt.Fprintf(os.Stderr, "alaskad: serving memcached protocol on %s (backend=%s shards=%d max-memory=%s)\n",
 		srv.Addr(), backend.Name(), *shards, *maxMemory)
+
+	// The admin plane listens on its own socket so operators can firewall
+	// it independently and scrape storms never occupy data-plane
+	// connection slots.
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatalf("admin listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "alaskad: admin endpoint on http://%s (/metrics /healthz /debug/pprof /debug/vars /debug/slowops)\n", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, server.NewAdminHandler(srv)); err != nil {
+				logger.Errorf("admin serve: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("received %v, draining connections", s)
+		logger.Infof("received %v, draining connections", s)
 		_ = srv.Shutdown(5 * time.Second)
 	}()
 
 	if err := srv.Serve(); err != nil {
-		log.Fatalf("serve: %v", err)
+		fatalf("serve: %v", err)
 	}
 	// Print a final stats block so a scripted run (CI smoke test) can
 	// check the server's own view of the session.

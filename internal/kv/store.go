@@ -403,6 +403,16 @@ func (s *Store) Snapshot() StatsSnapshot {
 	return out
 }
 
+// ResetStats zeroes the operation counters — memcached's `stats reset`.
+// Live-entry state (index, LRU, charged bytes) is untouched.
+func (s *Store) ResetStats() {
+	s.Sets, s.Gets = 0, 0
+	s.Hits, s.Misses = 0, 0
+	s.DeleteHits, s.DeleteMisses = 0, 0
+	s.Evictions, s.Reclaimed, s.EvictedUnfetched = 0, 0, 0
+	s.rmw = StatsSnapshot{}
+}
+
 // removeEntry frees the entry's storage, refunds its charged bytes, and
 // unlinks it; the struct goes to the free list for reuse.
 func (s *Store) removeEntry(e *entry) {

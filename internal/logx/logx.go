@@ -1,0 +1,112 @@
+// Package logx is the small leveled logger shared by alaskad and
+// internal/server: errors always, operational milestones at info,
+// connection churn only at debug. It replaces the ad-hoc log.Printf
+// calls that either spammed production logs or hid real failures.
+//
+// A nil *Logger is valid and silent, so library code can log
+// unconditionally without nil checks at every call site. The level is an
+// atomic so the wire `verbosity` command can flip it while connections
+// are logging.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. Messages at or below the logger's level
+// are emitted.
+type Level int32
+
+const (
+	// LevelError: failures that need operator attention. Always emitted.
+	LevelError Level = iota
+	// LevelInfo: lifecycle milestones (listen, shutdown, config).
+	LevelInfo
+	// LevelDebug: per-connection churn (accepts, closes, kicks).
+	LevelDebug
+)
+
+// String returns the level's log tag.
+func (l Level) String() string {
+	switch l {
+	case LevelError:
+		return "ERROR"
+	case LevelInfo:
+		return "INFO"
+	case LevelDebug:
+		return "DEBUG"
+	}
+	return fmt.Sprintf("LEVEL(%d)", int32(l))
+}
+
+// Logger writes leveled, timestamped lines to one writer. All methods
+// are safe for concurrent use and safe on a nil receiver (no-ops).
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	level  atomic.Int32
+	// Now supplies timestamps; nil means time.Now (swap in a fake for
+	// deterministic test output).
+	Now func() time.Time
+}
+
+// New returns a logger writing to w at the given level with an optional
+// "name: " prefix.
+func New(w io.Writer, prefix string, level Level) *Logger {
+	l := &Logger{w: w, prefix: prefix}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the emission threshold (the `verbosity` command's
+// hook). Safe concurrently with logging.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// GetLevel returns the current emission threshold.
+func (l *Logger) GetLevel() Level {
+	if l == nil {
+		return LevelError
+	}
+	return Level(l.level.Load())
+}
+
+// Enabled reports whether a message at level would be emitted — the
+// guard for callers that want to skip argument construction entirely.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) <= l.level.Load()
+}
+
+// Errorf logs a failure. Emitted at every level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Infof logs a lifecycle milestone.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs connection-level churn.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	now := time.Now
+	if l.Now != nil {
+		now = l.Now
+	}
+	line := fmt.Sprintf("%s %s %s%s\n",
+		now().Format("2006-01-02T15:04:05.000Z07:00"), level, l.prefix,
+		fmt.Sprintf(format, args...))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, line)
+}

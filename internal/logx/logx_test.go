@@ -1,0 +1,110 @@
+package logx
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2024, 3, 1, 12, 0, 0, 500e6, time.UTC)
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, "t: ", LevelInfo)
+	l.Now = fixedClock
+	l.Errorf("err %d", 1)
+	l.Infof("info %d", 2)
+	l.Debugf("debug %d", 3)
+	out := sb.String()
+	if !strings.Contains(out, "ERROR t: err 1") {
+		t.Errorf("missing error line:\n%s", out)
+	}
+	if !strings.Contains(out, "INFO t: info 2") {
+		t.Errorf("missing info line:\n%s", out)
+	}
+	if strings.Contains(out, "debug 3") {
+		t.Errorf("debug leaked at info level:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "2024-03-01T12:00:00.500Z ") {
+		t.Errorf("timestamp format: %q", out[:strings.IndexByte(out, ' ')])
+	}
+}
+
+func TestSetLevelAtRuntime(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, "", LevelError)
+	l.Debugf("hidden")
+	l.SetLevel(LevelDebug)
+	l.Debugf("shown")
+	out := sb.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("SetLevel not honored:\n%s", out)
+	}
+	if got := l.GetLevel(); got != LevelDebug {
+		t.Fatalf("GetLevel = %v, want debug", got)
+	}
+}
+
+func TestNilLoggerIsSilentAndSafe(t *testing.T) {
+	var l *Logger
+	l.Errorf("x")
+	l.Infof("x")
+	l.Debugf("x")
+	l.SetLevel(LevelDebug)
+	if l.GetLevel() != LevelError {
+		t.Fatal("nil logger must report the quietest level")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must report nothing enabled")
+	}
+}
+
+func TestEnabledGuard(t *testing.T) {
+	l := New(&strings.Builder{}, "", LevelInfo)
+	if !l.Enabled(LevelError) || !l.Enabled(LevelInfo) || l.Enabled(LevelDebug) {
+		t.Fatal("Enabled thresholds wrong at info level")
+	}
+}
+
+// TestConcurrentLogging exercises logging racing SetLevel (run with
+// -race); lines must come out whole.
+func TestConcurrentLogging(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		lines = append(lines, string(p))
+		mu.Unlock()
+		return len(p), nil
+	})
+	l := New(w, "c: ", LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Infof("msg %d-%d", g, i)
+				l.SetLevel(LevelDebug)
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 200 {
+		t.Fatalf("got %d lines, want 200", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasSuffix(ln, "\n") || !strings.Contains(ln, "INFO c: msg ") {
+			t.Fatalf("torn or malformed line: %q", ln)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

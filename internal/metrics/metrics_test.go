@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"alaska/internal/stats"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	n, err := r.WriteTo(&sb)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(sb.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, sb.Len())
+	}
+	return sb.String()
+}
+
+func TestCounterAndGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Ops.")
+	c.Add(41)
+	c.Inc()
+	r.GaugeFunc("test_items", "Items.", func() float64 { return 7 })
+	r.GaugeFunc("test_ratio", "Ratio.", func() float64 { return 1.25 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Ops.\n# TYPE test_ops_total counter\ntest_ops_total 42\n",
+		"# TYPE test_items gauge\ntest_items 7\n",
+		"test_ratio 1.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledChildrenSortAndRender(t *testing.T) {
+	r := NewRegistry()
+	f := r.Family("test_cmds_total", KindCounter, "Commands.")
+	f.Counter(`op="set"`).Add(2)
+	f.Counter(`op="get"`).Add(5)
+	// Re-registering a label set returns the same counter.
+	f.Counter(`op="get"`).Add(1)
+
+	out := render(t, r)
+	gi := strings.Index(out, `test_cmds_total{op="get"} 6`)
+	si := strings.Index(out, `test_cmds_total{op="set"} 2`)
+	if gi < 0 || si < 0 {
+		t.Fatalf("missing labeled samples:\n%s", out)
+	}
+	if gi > si {
+		t.Fatalf("children not sorted by labels:\n%s", out)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	rec := stats.NewLatencyRecorder()
+	rec.Record(3 * time.Microsecond)
+	rec.Record(5 * time.Millisecond)
+	rec.Record(time.Hour) // overflow bucket
+	r.Histogram("test_latency_seconds", "Latency.", rec)
+
+	out := render(t, r)
+	if !strings.Contains(out, "# TYPE test_latency_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket must be cumulative total:\n%s", out)
+	}
+	if !strings.Contains(out, "test_latency_seconds_count 3") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, "test_latency_seconds_sum ") {
+		t.Fatalf("missing _sum:\n%s", out)
+	}
+
+	// Buckets are cumulative and non-decreasing.
+	var prev float64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "test_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("buckets not cumulative at %q (prev %v)", line, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOnScrapeRunsOncePerWriteTo(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.OnScrape(func() { calls++ })
+	r.GaugeFunc("test_a", "A.", func() float64 { return 1 })
+	r.GaugeFunc("test_b", "B.", func() float64 { return 2 })
+	render(t, r)
+	render(t, r)
+	if calls != 2 {
+		t.Fatalf("OnScrape ran %d times over 2 scrapes, want 2", calls)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Family("test_x", KindCounter, "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a family with a different kind must panic")
+		}
+	}()
+	r.Family("test_x", KindGauge, "X.")
+}
+
+// TestConcurrentRecordDuringScrape proves recording never serializes
+// against WriteTo (run under -race).
+func TestConcurrentRecordDuringScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_hot_total", "Hot.")
+	rec := stats.NewLatencyRecorder()
+	r.Histogram("test_hot_seconds", "Hot.", rec)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				rec.Record(time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		render(t, r)
+	}
+	close(stop)
+	wg.Wait()
+}

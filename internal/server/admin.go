@@ -1,0 +1,50 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewAdminHandler returns the admin-plane HTTP handler alaskad serves on
+// -admin-addr — a separate socket from the memcached port, so operators
+// can firewall it independently and a scrape storm can never occupy
+// data-plane connection slots. Endpoints:
+//
+//	/metrics        Prometheus text exposition (see MetricsRegistry)
+//	/healthz        liveness probe ("ok")
+//	/debug/vars     expvar (Go runtime memstats and cmdline)
+//	/debug/pprof/   the standard pprof index, profiles, and traces
+//	/debug/slowops  the slow-op ring as JSON, newest first
+func NewAdminHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = s.MetricsRegistry().WriteTo(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// net/http/pprof registers on http.DefaultServeMux at init; route the
+	// handlers explicitly so the admin mux works standalone (and nothing
+	// else that touched DefaultServeMux leaks onto the admin port).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ops := s.SlowOps()
+		if ops == nil {
+			ops = []SlowOp{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ops)
+	})
+	return mux
+}

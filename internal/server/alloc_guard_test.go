@@ -25,10 +25,16 @@ import (
 )
 
 // guardHandler builds a connHandler over in-memory I/O on a fresh
-// malloc-backed store — the full dispatch path with no socket.
+// malloc-backed store — the full dispatch path with no socket. The
+// default config leaves instrumentation fully enabled, so every guard
+// proves the 0-alloc contract with the per-opcode histograms live.
 func guardHandler() (*connHandler, *bytes.Reader) {
+	return guardHandlerCfg(Config{Version: "guard", MaxReplyBacklog: -1})
+}
+
+func guardHandlerCfg(cfg Config) (*connHandler, *bytes.Reader) {
 	store := kv.NewShardedStore(kv.NewMallocBackend(), 8, 0)
-	srv := New(store, Config{Version: "guard", MaxReplyBacklog: -1})
+	srv := New(store, cfg)
 	src := bytes.NewReader(nil)
 	h := &connHandler{
 		srv:  srv,
@@ -42,8 +48,9 @@ func guardHandler() (*connHandler, *bytes.Reader) {
 
 // runCommand feeds one pre-built request through the handler exactly as
 // the serve loop would: reset the source, read the line, dispatch, and
-// record latency. The write buffer is reset instead of flushed so the
-// measurement covers the server path, not io.Discard.
+// record into the full observability plane (aggregate + per-opcode
+// histograms + slow-op sampling). The write buffer is reset instead of
+// flushed so the measurement covers the server path, not io.Discard.
 func runCommand(tb testing.TB, h *connHandler, src *bytes.Reader, req []byte) {
 	src.Reset(req)
 	h.r.Reset(src)
@@ -55,7 +62,7 @@ func runCommand(tb testing.TB, h *connHandler, src *bytes.Reader, req []byte) {
 	if _, err := h.dispatch(line); err != nil {
 		tb.Fatalf("dispatch: %v", err)
 	}
-	h.srv.lat.Record(time.Since(start))
+	h.srv.recordOp(h, h.c.id, time.Since(start))
 	h.w.Reset(io.Discard)
 	h.backlog = 0
 }
@@ -88,6 +95,37 @@ func TestAllocFreeSetSteadyState(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state SET allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocFreeSlowOpCapture pins the slow-op recording path itself: a
+// 1ns threshold makes every command a "slow op", so each iteration
+// claims a ring slot, runs the seqlock write, and copies the key prefix
+// — all of which must stay allocation-free.
+func TestAllocFreeSlowOpCapture(t *testing.T) {
+	h, src := guardHandlerCfg(Config{
+		Version:         "guard",
+		MaxReplyBacklog: -1,
+		SlowOpThreshold: time.Nanosecond,
+	})
+	set := []byte("set bench:key 7 0 512\r\n" + string(bytes.Repeat([]byte{'v'}, 512)) + "\r\n")
+	get := []byte("get bench:key\r\n")
+	runCommand(t, h, src, set)
+	for i := 0; i < 8; i++ {
+		runCommand(t, h, src, get)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		runCommand(t, h, src, get)
+	})
+	if avg != 0 {
+		t.Fatalf("GET hit with slow-op capture allocates %.2f allocs/op, want 0", avg)
+	}
+	if got := h.srv.slowOpTotal(); got == 0 {
+		t.Fatalf("slow-op ring recorded nothing despite 1ns threshold")
+	}
+	ops := h.srv.SlowOps()
+	if len(ops) == 0 || ops[0].Cmd != "get" || ops[0].Key != "bench:key" {
+		t.Fatalf("unexpected slow-op snapshot head: %+v", ops[:min(len(ops), 1)])
 	}
 }
 

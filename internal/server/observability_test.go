@@ -1,0 +1,346 @@
+package server
+
+// Observability-plane tests: `stats reset` / `stats slow` wire
+// conformance across every backend, the slow-op ring's capture and
+// wraparound behavior, the per-opcode histograms, and the admin HTTP
+// surface (/metrics, /healthz, /debug/pprof, /debug/slowops).
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"alaska/internal/kv"
+	"alaska/internal/logx"
+)
+
+func TestStatsResetConformance(t *testing.T) {
+	forEachBackend(t, Config{Addr: "127.0.0.1:0"}, func(t *testing.T, srv *Server) {
+		runTranscript(t, srv.Addr(), []step{
+			{"set k 0 0 3\r\nabc\r\n", "STORED\r\n"},
+			{"get k\r\n", "VALUE k 0 3\r\nabc\r\nEND\r\n"},
+			{"get missing\r\n", "END\r\n"},
+			{"stats reset\r\n", "RESET\r\n"},
+			// State survives the reset: the item is still there...
+			{"get k\r\n", "VALUE k 0 3\r\nabc\r\nEND\r\n"},
+		})
+		snap := srv.store.Snapshot()
+		// ...but only the post-reset get is counted.
+		if snap.Sets != 0 || snap.Gets != 1 || snap.Hits != 1 || snap.Misses != 0 {
+			t.Fatalf("post-reset counters: sets=%d gets=%d hits=%d misses=%d, want 0/1/1/0",
+				snap.Sets, snap.Gets, snap.Hits, snap.Misses)
+		}
+		if snap.Keys != 1 {
+			t.Fatalf("reset must not touch the live-key gauge: keys=%d, want 1", snap.Keys)
+		}
+		if n := srv.totalConns.Load(); n != 0 {
+			t.Fatalf("post-reset total_connections=%d, want 0", n)
+		}
+	})
+}
+
+func TestStatsResetZeroesLatencyAndBytes(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{Addr: "127.0.0.1:0"})
+	runTranscript(t, srv.Addr(), []step{
+		{"set k 0 0 3\r\nabc\r\n", "STORED\r\n"},
+		{"stats reset\r\n", "RESET\r\n"},
+	})
+	// The `stats reset` command itself is recorded after dispatch
+	// returns, so at most that one op may appear; the set must be gone.
+	if srv.lat.Count() > 1 {
+		t.Fatalf("post-reset latency count=%d, want <=1", srv.lat.Count())
+	}
+	if got := srv.OpLatency("set").Count(); got != 0 {
+		t.Fatalf("post-reset per-op set count=%d, want 0", got)
+	}
+}
+
+// TestStatsSlowWire drives a server with an aggressive threshold so
+// every command is captured, then checks the `stats slow` row format.
+func TestStatsSlowWire(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{
+		Addr:            "127.0.0.1:0",
+		SlowOpThreshold: time.Nanosecond,
+	})
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	send := func(s string) {
+		t.Helper()
+		if _, err := c.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readUntilEnd := func() []string {
+		t.Helper()
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var lines []string
+		for {
+			l, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading stats slow: %v (got %q)", err, lines)
+			}
+			l = strings.TrimRight(l, "\r\n")
+			if l == "END" {
+				return lines
+			}
+			lines = append(lines, l)
+		}
+	}
+	send("set slowkey 0 0 3\r\nabc\r\n")
+	if l, _ := br.ReadString('\n'); l != "STORED\r\n" {
+		t.Fatalf("set: %q", l)
+	}
+	send("get slowkey\r\n")
+	for i := 0; i < 3; i++ { // VALUE, data, END
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("stats slow\r\n")
+	lines := readUntilEnd()
+	if len(lines) == 0 {
+		t.Fatal("stats slow returned no rows despite 1ns threshold")
+	}
+	// Newest first: row 0 is the get (the stats command itself is
+	// recorded only after its reply is generated).
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "slow:0:cmd get") {
+		t.Fatalf("stats slow missing newest-first get row:\n%s", joined)
+	}
+	if !strings.Contains(joined, "slow:0:key slowkey") {
+		t.Fatalf("stats slow missing key row:\n%s", joined)
+	}
+	for _, want := range []string{"latency_us", "conn", "age_s"} {
+		if !strings.Contains(joined, "slow:0:"+want) {
+			t.Fatalf("stats slow missing %s row:\n%s", want, joined)
+		}
+	}
+	// Unknown sub-commands still answer ERROR.
+	send("stats bogus\r\n")
+	if l, _ := br.ReadString('\n'); l != "ERROR\r\n" {
+		t.Fatalf("stats bogus: %q", l)
+	}
+}
+
+func TestSlowRingWraparoundAndTruncation(t *testing.T) {
+	r := newSlowRing()
+	long := strings.Repeat("k", slowOpKeyLen+10)
+	for i := 0; i < slowRingSize+17; i++ {
+		r.record(cmdGet, []byte(long), time.Duration(i+1)*time.Microsecond, uint64(i), time.Unix(1000, 0))
+	}
+	ops := r.snapshot()
+	if len(ops) != slowRingSize {
+		t.Fatalf("snapshot after overflow: %d entries, want %d", len(ops), slowRingSize)
+	}
+	// Newest first.
+	if ops[0].ConnID != uint64(slowRingSize+16) {
+		t.Fatalf("newest entry conn=%d, want %d", ops[0].ConnID, slowRingSize+16)
+	}
+	if ops[0].Latency <= ops[len(ops)-1].Latency {
+		t.Fatalf("entries not newest-first: head=%v tail=%v", ops[0].Latency, ops[len(ops)-1].Latency)
+	}
+	wantKey := long[:slowOpKeyLen] + "..."
+	if ops[0].Key != wantKey {
+		t.Fatalf("truncated key = %q, want %q", ops[0].Key, wantKey)
+	}
+}
+
+// TestSlowRingConcurrent hammers record from many goroutines while a
+// reader snapshots — under -race this proves the seqlock keeps readers
+// and writers apart without locks.
+func TestSlowRingConcurrent(t *testing.T) {
+	r := newSlowRing()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := []byte("writer-key")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.record(cmdSet, key, time.Duration(i)*time.Microsecond, uint64(g), time.Unix(int64(i), 0))
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		for _, op := range r.snapshot() {
+			if op.Cmd != "set" || op.Key != "writer-key" {
+				t.Errorf("torn entry surfaced: %+v", op)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPerOpHistograms(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{Addr: "127.0.0.1:0"})
+	runTranscript(t, srv.Addr(), []step{
+		{"set k 0 0 3\r\nabc\r\n", "STORED\r\n"},
+		{"get k\r\n", "VALUE k 0 3\r\nabc\r\nEND\r\n"},
+		{"get k\r\n", "VALUE k 0 3\r\nabc\r\nEND\r\n"},
+		{"delete k\r\n", "DELETED\r\n"},
+		{"incr nosuch 1\r\n", "NOT_FOUND\r\n"},
+	})
+	want := map[string]int64{"get": 2, "set": 1, "delete": 1, "incr": 1, "cas": 0}
+	for op, n := range want {
+		rec := srv.OpLatency(op)
+		if rec == nil {
+			t.Fatalf("OpLatency(%q) = nil", op)
+		}
+		if got := rec.Count(); got != n {
+			t.Errorf("per-op %s count = %d, want %d", op, got, n)
+		}
+	}
+	if srv.OpLatency("nonsense") != nil {
+		t.Fatal("OpLatency must return nil for unknown opcodes")
+	}
+	if srv.bytesRead.Load() == 0 || srv.bytesWritten.Load() == 0 {
+		t.Fatalf("byte counters not advancing: read=%d written=%d",
+			srv.bytesRead.Load(), srv.bytesWritten.Load())
+	}
+}
+
+// TestDisableInstrumentation proves the bench A/B switch: no per-op
+// recorders, no slow ring, no byte counting — but the aggregate stats
+// surface still works.
+func TestDisableInstrumentation(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{
+		Addr:                   "127.0.0.1:0",
+		DisableInstrumentation: true,
+		SlowOpThreshold:        time.Nanosecond,
+	})
+	runTranscript(t, srv.Addr(), []step{
+		{"set k 0 0 3\r\nabc\r\n", "STORED\r\n"},
+		{"get k\r\n", "VALUE k 0 3\r\nabc\r\nEND\r\n"},
+	})
+	if srv.OpLatency("get") != nil {
+		t.Fatal("per-op recorders must be nil when instrumentation is disabled")
+	}
+	if got := srv.SlowOps(); got != nil {
+		t.Fatalf("slow ring must be off: %+v", got)
+	}
+	if srv.lat.Count() == 0 {
+		t.Fatal("aggregate latency recorder must stay on")
+	}
+	if srv.bytesRead.Load() != 0 {
+		t.Fatal("byte counters must be off when instrumentation is disabled")
+	}
+}
+
+func TestAdminHandler(t *testing.T) {
+	srv := startServer(t, kv.NewMallocBackend(), Config{
+		Addr:            "127.0.0.1:0",
+		SlowOpThreshold: time.Nanosecond,
+		Version:         "admintest",
+	})
+	runTranscript(t, srv.Addr(), []step{
+		{"set k 0 0 3\r\nabc\r\n", "STORED\r\n"},
+		{"get k\r\n", "VALUE k 0 3\r\nabc\r\nEND\r\n"},
+	})
+	ts := httptest.NewServer(NewAdminHandler(srv))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		`alaskad_op_latency_seconds_count{op="get"} 1`,
+		`alaskad_op_latency_seconds_bucket{op="set",le="+Inf"} 1`,
+		"# TYPE alaskad_op_latency_seconds histogram",
+		"alaskad_defrag_pass_duration_seconds_count",
+		"alaskad_safepoint_wait_seconds_count",
+		`alaskad_store_ops_total{op="get",outcome="hit"} 1`,
+		`version="admintest"`,
+		"alaskad_bytes_read_total",
+		"alaskad_items 1",
+		"alaskad_slow_ops_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get("/debug/slowops")
+	if code != 200 {
+		t.Fatalf("/debug/slowops: status %d", code)
+	}
+	var ops []SlowOp
+	if err := json.Unmarshal([]byte(body), &ops); err != nil {
+		t.Fatalf("/debug/slowops not JSON: %v\n%s", err, body)
+	}
+	if len(ops) == 0 {
+		t.Fatal("/debug/slowops empty despite 1ns threshold")
+	}
+
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "profiles") {
+		t.Fatalf("/debug/pprof/ index: %d", code)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+}
+
+// TestVerbosityMovesLogLevel proves the wire command drives the leveled
+// logger.
+func TestVerbosityMovesLogLevel(t *testing.T) {
+	logger := logx.New(&nopWriter{}, "t: ", logx.LevelError)
+	srv := startServer(t, kv.NewMallocBackend(), Config{
+		Addr:   "127.0.0.1:0",
+		Logger: logger,
+	})
+	runTranscript(t, srv.Addr(), []step{
+		{"verbosity 2\r\n", "OK\r\n"},
+	})
+	if got := logger.GetLevel(); got != logx.LevelDebug {
+		t.Fatalf("after `verbosity 2`: level=%v, want debug", got)
+	}
+	runTranscript(t, srv.Addr(), []step{
+		{"verbosity 0 noreply\r\nversion\r\n", "VERSION " + srv.cfg.Version + "\r\n"},
+	})
+	if got := logger.GetLevel(); got != logx.LevelError {
+		t.Fatalf("after `verbosity 0`: level=%v, want error", got)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -36,6 +36,7 @@ const (
 	respTouched     = "TOUCHED"
 	respEnd         = "END"
 	respOK          = "OK"
+	respReset       = "RESET"
 	respError       = "ERROR"
 	respBadFormat   = "CLIENT_ERROR bad command line format"
 	respLineTooLong = "CLIENT_ERROR line too long"

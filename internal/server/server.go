@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"alaska/internal/kv"
+	"alaska/internal/logx"
 	"alaska/internal/stats"
 )
 
@@ -71,6 +73,20 @@ type Config struct {
 	// the stream resynced at the next newline, instead of growing the
 	// read buffer without bound. Default 2048.
 	MaxLineLen int
+	// SlowOpThreshold records any command slower than this into the
+	// slow-op ring (`stats slow`, /debug/slowops on the admin port).
+	// Default 10ms; negative disables capture entirely.
+	SlowOpThreshold time.Duration
+	// DisableInstrumentation turns off the per-opcode latency
+	// histograms, byte counters, and slow-op capture (the aggregate
+	// latency recorder behind `stats` stays on). Exists so
+	// alaskad-bench can measure the instrumented-vs-bare hot-path
+	// delta; production servers leave it false.
+	DisableInstrumentation bool
+	// Logger receives the server's leveled log output: errors always,
+	// connection churn at debug (the wire `verbosity` command moves the
+	// level at runtime). nil = silent.
+	Logger *logx.Logger
 	// SpacePaddedDecr enables memcached's classic decr compatibility
 	// behavior: a decrement whose result has fewer digits than the stored
 	// value is right-padded with spaces to the old length (so the item
@@ -105,6 +121,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxLineLen == 0 {
 		out.MaxLineLen = 2048
+	}
+	if out.SlowOpThreshold == 0 {
+		out.SlowOpThreshold = 10 * time.Millisecond
 	}
 	return out
 }
@@ -150,7 +169,35 @@ type Server struct {
 	cmdFlush       atomic.Int64
 	casCounter     atomic.Uint64
 	barrierPauseNs atomic.Int64
+	bytesRead      atomic.Int64
+	bytesWritten   atomic.Int64
 	lat            *stats.LatencyRecorder
+
+	// Observability plane. perOp splits command latency by opcode (the
+	// per-op recorders behind /metrics); slowOps is the slow-command
+	// flight recorder. instr/slowThreshNs are the precomputed hot-path
+	// gates. connIDs labels connections for slow-op attribution — it is
+	// separate from totalConns so `stats reset` never reuses an id.
+	instr        bool
+	slowThreshNs int64
+	perOp        [cmdCount]*stats.LatencyRecorder
+	slowOps      *slowRing
+	connIDs      atomic.Uint64
+
+	// Defragmentation telemetry, fed by the maintenance loop: pass
+	// duration and stop-the-world pause histograms, the barrier
+	// safepoint-rendezvous wait (via rt.SetBarrierWaitObserver),
+	// grace-period bytes returned by DrainDeferred, and the sampled
+	// RSS/fragmentation gauges the metrics endpoint reports.
+	passLat      *stats.LatencyRecorder
+	pauseLat     *stats.LatencyRecorder
+	safepointLat *stats.LatencyRecorder
+	drainedBytes atomic.Uint64
+	sampledRSS   atomic.Uint64
+	sampledFrag  atomic.Uint64 // math.Float64bits
+
+	registryOnce sync.Once
+	registry     *registryState
 
 	closeOnce sync.Once
 }
@@ -166,6 +213,15 @@ type conn struct {
 	clock        func() time.Time
 	closeOnce    sync.Once
 	closeErr     error
+	// id attributes slow-op records to a connection. Never reused (see
+	// Server.connIDs).
+	id uint64
+	// nr/nw, when non-nil, receive socket byte counts (the server's
+	// bytes_read/bytes_written). Pointers so a bare test conn — and an
+	// uninstrumented server — skips the accounting without branching on
+	// config.
+	nr *atomic.Int64
+	nw *atomic.Int64
 	// lastActive is the Config.Clock unixnano of the last completed
 	// command line or write progress. Partial bytes from a slow-loris
 	// client do not count as activity (memcached's last_cmd_time rule).
@@ -190,7 +246,20 @@ func (c *conn) Write(p []byte) (int, error) {
 		c.slow.Store(true)
 	}
 	if n > 0 {
+		if c.nw != nil {
+			c.nw.Add(int64(n))
+		}
 		c.touch(c.clock())
+	}
+	return n, err
+}
+
+// Read counts socket bytes into the server's bytes_read (bufio's fills
+// land here, so every byte the client sends is accounted once).
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.nr != nil {
+		c.nr.Add(int64(n))
 	}
 	return n, err
 }
@@ -227,11 +296,31 @@ func New(store *kv.ShardedStore, cfg Config) *Server {
 		conns: make(map[*conn]struct{}),
 		lat:   stats.NewLatencyRecorder(),
 	}
+	s.instr = !s.cfg.DisableInstrumentation
+	if s.instr {
+		for i := range s.perOp {
+			s.perOp[i] = stats.NewLatencyRecorder()
+		}
+		s.slowOps = newSlowRing()
+		if s.cfg.SlowOpThreshold > 0 {
+			s.slowThreshNs = s.cfg.SlowOpThreshold.Nanoseconds()
+		}
+	}
+	s.passLat = stats.NewLatencyRecorder()
+	s.pauseLat = stats.NewLatencyRecorder()
+	s.safepointLat = stats.NewLatencyRecorder()
 	if s.cfg.MaxConns > 0 {
 		s.connSem = make(chan struct{}, s.cfg.MaxConns)
 	}
 	if ab, ok := store.Backend().(*kv.AnchorageBackend); ok {
 		s.anch = ab
+		// Every stop-the-world barrier reports how long the initiator
+		// waited for the safepoint rendezvous — the pause component the
+		// paper's claims are about, as a histogram instead of a single
+		// accumulated counter.
+		ab.Runtime.SetBarrierWaitObserver(func(wait time.Duration) {
+			s.safepointLat.Record(wait)
+		})
 	}
 	// One clock for exptime normalization and the store's expiry checks:
 	// a value stored "for 5 seconds" dies exactly when both agree it does.
@@ -247,6 +336,7 @@ func (s *Server) Listen() error {
 		return err
 	}
 	s.ln = ln
+	s.cfg.Logger.Infof("listening on %s (backend %s)", ln.Addr(), s.store.Backend().Name())
 	return nil
 }
 
@@ -298,6 +388,7 @@ func (s *Server) Serve() error {
 				return nil
 			}
 			s.acceptErrors.Add(1)
+			s.cfg.Logger.Errorf("accept: %v (retrying in %v)", err, backoff)
 			select {
 			case <-time.After(backoff):
 			case <-s.quit:
@@ -312,8 +403,17 @@ func (s *Server) Serve() error {
 		if deferred {
 			s.listenDisabled.Add(1)
 		}
-		wc := &conn{Conn: c, writeTimeout: s.cfg.WriteTimeout, clock: s.cfg.Clock}
+		wc := &conn{
+			Conn:         c,
+			writeTimeout: s.cfg.WriteTimeout,
+			clock:        s.cfg.Clock,
+			id:           s.connIDs.Add(1),
+		}
+		if s.instr {
+			wc.nr, wc.nw = &s.bytesRead, &s.bytesWritten
+		}
 		wc.touch(s.cfg.Clock())
+		s.cfg.Logger.Debugf("conn %d: accepted %s", wc.id, c.RemoteAddr())
 		s.mu.Lock()
 		s.conns[wc] = struct{}{}
 		s.mu.Unlock()
@@ -434,17 +534,45 @@ func (s *Server) maintainLoop() {
 			// touched again.
 			if pause := s.store.Maintain(time.Since(s.start)); pause > 0 {
 				s.barrierPauseNs.Add(int64(pause))
+				// Each stop-the-world pause lands in the histogram too,
+				// so /metrics exposes the distribution the single
+				// accumulated counter hides.
+				s.pauseLat.Record(pause)
 			}
 			if s.anch != nil {
 				if s.anch.Svc.Fragmentation() > s.cfg.DefragFragHigh {
-					s.anch.Svc.ConcurrentDefragPass(s.cfg.DefragBudget)
+					passStart := time.Now()
+					moved := s.anch.Svc.ConcurrentDefragPass(s.cfg.DefragBudget)
+					d := time.Since(passStart)
+					s.passLat.Record(d)
+					s.cfg.Logger.Debugf("defrag: concurrent pass moved %d bytes in %v", moved, d)
 				}
 				// Return vacated blocks whose grace period has elapsed.
-				s.anch.Svc.DrainDeferred()
+				if drained := s.anch.Svc.DrainDeferred(); drained > 0 {
+					s.drainedBytes.Add(drained)
+				}
 			}
+			s.sampleGauges()
 			s.reapIdle()
 		}
 	}
+}
+
+// sampleGauges refreshes the sampled RSS/fragmentation gauges at the
+// maintenance tick. /metrics reports the sampled values instead of
+// walking the store per scrape, so a scrape storm cannot add store
+// traffic and the gauges line up in time with the defrag telemetry
+// captured on the same tick.
+func (s *Server) sampleGauges() {
+	snap := s.store.Snapshot()
+	s.sampledRSS.Store(uint64(snap.RSS))
+	frag := 0.0
+	if s.anch != nil {
+		frag = s.anch.Svc.Fragmentation()
+	} else if snap.Used > 0 {
+		frag = float64(snap.RSS) / float64(snap.Used)
+	}
+	s.sampledFrag.Store(math.Float64bits(frag))
 }
 
 // reapIdle closes connections that have not completed a command within
@@ -495,6 +623,14 @@ type connHandler struct {
 	val    []byte   // kv copy-out / RMW old-value scratch
 	val2   []byte   // encoded write-back value scratch (may not alias val)
 	hdr    []byte   // response header / numeric reply scratch
+
+	// Per-command observability capture, written by dispatch before any
+	// body read slides the read buffer (the key token aliases it): the
+	// opcode for the per-op histograms and a fixed-array key prefix for
+	// the slow-op ring. Fixed storage — recording stays allocation-free.
+	lastCmd  cmdCode
+	opKey    [slowOpKeyLen]byte
+	opKeyLen uint8
 }
 
 func (s *Server) handleConn(c *conn) {
@@ -506,6 +642,9 @@ func (s *Server) handleConn(c *conn) {
 		s.currConns.Add(-1)
 		if c.slow.Load() {
 			s.slowKicks.Add(1)
+			s.cfg.Logger.Debugf("conn %d: kicked (slow client)", c.id)
+		} else {
+			s.cfg.Logger.Debugf("conn %d: closed", c.id)
 		}
 		_ = c.Close()
 		s.releaseConnSlot()
@@ -551,7 +690,7 @@ func (s *Server) handleConn(c *conn) {
 		if err != nil {
 			return // I/O failure mid-command
 		}
-		s.lat.Record(time.Since(start))
+		s.recordOp(h, c.id, time.Since(start))
 		// Flush unless a complete pipelined command is already buffered,
 		// so a burst of pipelined requests is answered in one write. (A
 		// *partial* line must not gate the flush: its sender may be
@@ -567,6 +706,20 @@ func (s *Server) handleConn(c *conn) {
 		if quit {
 			_ = h.flush()
 			return
+		}
+	}
+}
+
+// recordOp folds one completed command into the aggregate and
+// per-opcode latency recorders and, past the slow threshold, the
+// slow-op ring. Atomics and fixed arrays only — the allocation guards
+// run this exact path with instrumentation fully enabled.
+func (s *Server) recordOp(h *connHandler, connID uint64, d time.Duration) {
+	s.lat.Record(d)
+	if s.instr {
+		s.perOp[h.lastCmd].Record(d)
+		if s.slowThreshNs > 0 && d.Nanoseconds() >= s.slowThreshNs {
+			s.slowOps.record(h.lastCmd, h.opKey[:h.opKeyLen], d, connID, s.cfg.Clock())
 		}
 	}
 }
@@ -813,6 +966,55 @@ func (op storeOp) String() string {
 	return "?"
 }
 
+// cmdCode labels a command for the per-opcode latency histograms and
+// the slow-op ring. It is distinct from storeOp (which only names the
+// storage family for the post-parse paths).
+type cmdCode uint8
+
+const (
+	cmdGet cmdCode = iota
+	cmdGat
+	cmdSet
+	cmdAdd
+	cmdReplace
+	cmdCas
+	cmdAppend
+	cmdPrepend
+	cmdIncr
+	cmdDecr
+	cmdDelete
+	cmdTouch
+	cmdFlushAll
+	cmdStats
+	cmdOther // version, verbosity, quit, protocol errors
+	cmdCount
+)
+
+// cmdNames are the wire/metric labels, indexed by cmdCode.
+var cmdNames = [cmdCount]string{
+	"get", "gat", "set", "add", "replace", "cas", "append", "prepend",
+	"incr", "decr", "delete", "touch", "flush_all", "stats", "other",
+}
+
+// noteOp records the dispatched opcode and a fixed-size key prefix for
+// the observability plane. Must run before any body read: key aliases
+// the read buffer, and the copy into the handler-owned array is what
+// lets the slow-op ring reference it later without holding (or
+// allocating) request memory.
+func (h *connHandler) noteOp(code cmdCode, key []byte) {
+	h.lastCmd = code
+	h.opKeyLen = uint8(copy(h.opKey[:], key))
+}
+
+// firstKey returns the leading argument (the key for single- and
+// multi-key commands alike), or nil for a bare command.
+func firstKey(args [][]byte) []byte {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return nil
+}
+
 // dispatch executes one command line. The returned error is an I/O
 // failure (drop the connection); protocol errors are answered in-band.
 // line aliases the read buffer; it is tokenized in place (no per-command
@@ -821,43 +1023,66 @@ func (op storeOp) String() string {
 func (h *connHandler) dispatch(line []byte) (quit bool, err error) {
 	h.fields = tokenize(line, h.fields[:0])
 	if len(h.fields) == 0 {
+		h.noteOp(cmdOther, nil)
 		return false, h.replyError(respError)
 	}
 	cmd, args := h.fields[0], h.fields[1:]
 	switch string(cmd) { // compiles to allocation-free comparisons
 	case "get", "gets":
+		h.noteOp(cmdGet, firstKey(args))
 		return false, h.doGet(args, len(cmd) == 4)
 	case "gat", "gats":
+		// args[0] is the exptime; the first key follows it.
+		h.noteOp(cmdGat, firstKey(args[min(len(args), 1):]))
 		return false, h.doGat(args, len(cmd) == 4)
 	case "set":
+		h.noteOp(cmdSet, firstKey(args))
 		return false, h.doStore(opSet, args)
 	case "add":
+		h.noteOp(cmdAdd, firstKey(args))
 		return false, h.doStore(opAdd, args)
 	case "replace":
+		h.noteOp(cmdReplace, firstKey(args))
 		return false, h.doStore(opReplace, args)
 	case "cas":
+		h.noteOp(cmdCas, firstKey(args))
 		return false, h.doStore(opCas, args)
 	case "append":
+		h.noteOp(cmdAppend, firstKey(args))
 		return false, h.doStore(opAppend, args)
 	case "prepend":
+		h.noteOp(cmdPrepend, firstKey(args))
 		return false, h.doStore(opPrepend, args)
 	case "incr", "decr":
+		if cmd[0] == 'i' {
+			h.noteOp(cmdIncr, firstKey(args))
+		} else {
+			h.noteOp(cmdDecr, firstKey(args))
+		}
 		return false, h.doIncrDecr(args, cmd[0] == 'i')
 	case "delete":
+		h.noteOp(cmdDelete, firstKey(args))
 		return false, h.doDelete(args)
 	case "touch":
+		h.noteOp(cmdTouch, firstKey(args))
 		return false, h.doTouch(args)
 	case "flush_all":
+		h.noteOp(cmdFlushAll, nil)
 		return false, h.doFlushAll(args)
 	case "verbosity":
+		h.noteOp(cmdOther, nil)
 		return false, h.doVerbosity(args)
 	case "stats":
+		h.noteOp(cmdStats, nil)
 		return false, h.doStats(args)
 	case "version":
+		h.noteOp(cmdOther, nil)
 		return false, h.reply("VERSION " + h.srv.cfg.Version)
 	case "quit":
+		h.noteOp(cmdOther, nil)
 		return true, nil
 	default:
+		h.noteOp(cmdOther, nil)
 		return false, h.replyError(respError)
 	}
 }
@@ -1281,14 +1506,23 @@ func (h *connHandler) doFlushAll(args [][]byte) error {
 	return h.reply(respOK)
 }
 
-// doVerbosity implements `verbosity <level> [noreply]`. The level is
-// parsed for conformance but otherwise ignored — alaskad has no log
-// levels to switch — which matches how most memcached deployments treat
-// the command anyway.
+// doVerbosity implements `verbosity <level> [noreply]`, wired to the
+// server's leveled logger: 0 = errors only, 1 = info, 2+ = per-connection
+// debug. With no logger configured the level is parsed for conformance
+// and dropped, which is how most memcached deployments treat the
+// command anyway.
 func (h *connHandler) doVerbosity(args [][]byte) error {
-	_, noreply, perr := parseVerbosityB(args)
+	level, noreply, perr := parseVerbosityB(args)
 	if perr != nil {
 		return h.replyError(respBadFormat)
+	}
+	switch {
+	case level == 0:
+		h.srv.cfg.Logger.SetLevel(logx.LevelError)
+	case level == 1:
+		h.srv.cfg.Logger.SetLevel(logx.LevelInfo)
+	default:
+		h.srv.cfg.Logger.SetLevel(logx.LevelDebug)
 	}
 	if noreply {
 		return nil
@@ -1359,6 +1593,9 @@ func (s *Server) statLines() []statLine {
 		{"used_bytes", fmt.Sprintf("%d", snap.Used)},
 		{"rss_bytes", fmt.Sprintf("%d", snap.RSS)},
 		{"protocol_errors", fmt.Sprintf("%d", s.protocolErrors.Load())},
+		{"bytes_read", fmt.Sprintf("%d", s.bytesRead.Load())},
+		{"bytes_written", fmt.Sprintf("%d", s.bytesWritten.Load())},
+		{"slow_ops", fmt.Sprintf("%d", s.slowOpTotal())},
 		{"latency_mean_us", fmt.Sprintf("%.1f", float64(s.lat.Mean().Nanoseconds())/1e3)},
 		{"latency_p50_us", fmt.Sprintf("%.1f", float64(s.lat.Percentile(50).Nanoseconds())/1e3)},
 		{"latency_p99_us", fmt.Sprintf("%.1f", float64(s.lat.Percentile(99).Nanoseconds())/1e3)},
@@ -1377,16 +1614,90 @@ func (s *Server) statLines() []statLine {
 			statLine{"defrag_move_aborts", fmt.Sprintf("%d", m.MoveAborts)},
 			statLine{"defrag_truncated_bytes", fmt.Sprintf("%d", m.Truncated)},
 			statLine{"defrag_deferred_blocks", fmt.Sprintf("%d", m.DeferredBlocks)},
+			statLine{"defrag_drained_bytes", fmt.Sprintf("%d", s.drainedBytes.Load())},
+			statLine{"defrag_pass_p99_us", fmt.Sprintf("%.1f", float64(s.passLat.Percentile(99).Nanoseconds())/1e3)},
+			statLine{"defrag_pause_p99_us", fmt.Sprintf("%.1f", float64(s.pauseLat.Percentile(99).Nanoseconds())/1e3)},
+			statLine{"safepoint_wait_p99_us", fmt.Sprintf("%.1f", float64(s.safepointLat.Percentile(99).Nanoseconds())/1e3)},
 			statLine{"heap_fragmentation", fmt.Sprintf("%.3f", s.anch.Svc.Fragmentation())},
 		)
 	}
 	return lines
 }
 
+// ResetStats implements `stats reset`: the statistics counters — op
+// counts, hit/miss tallies, byte totals, latency histograms — go back
+// to zero, while state gauges (live connections, items, memory, the
+// ceiling) and protocol invariants (the cas unique counter, connection
+// ids) are untouched, memcached's split exactly.
+func (s *Server) ResetStats() {
+	s.store.ResetStats()
+	s.totalConns.Store(0)
+	s.protocolErrors.Store(0)
+	s.listenDisabled.Store(0)
+	s.acceptErrors.Store(0)
+	s.idleKicks.Store(0)
+	s.slowKicks.Store(0)
+	s.cmdFlush.Store(0)
+	s.barrierPauseNs.Store(0)
+	s.bytesRead.Store(0)
+	s.bytesWritten.Store(0)
+	s.drainedBytes.Store(0)
+	s.lat.Reset()
+	if s.instr {
+		for _, r := range s.perOp {
+			r.Reset()
+		}
+	}
+	s.passLat.Reset()
+	s.pauseLat.Reset()
+	s.safepointLat.Reset()
+}
+
+// SlowOps returns the slow-op ring's current contents, newest first
+// (empty when instrumentation is disabled). Reporting surfaces only.
+func (s *Server) SlowOps() []SlowOp {
+	if s.slowOps == nil {
+		return nil
+	}
+	return s.slowOps.snapshot()
+}
+
+// slowOpTotal counts slow ops ever recorded (not just those still in
+// the ring).
+func (s *Server) slowOpTotal() uint64 {
+	if s.slowOps == nil {
+		return 0
+	}
+	return s.slowOps.cur.Load()
+}
+
+// OpLatency returns the latency recorder for one opcode label (e.g.
+// "get"), or nil when unknown or instrumentation is disabled. The
+// metrics registry and tests read histograms through this.
+func (s *Server) OpLatency(op string) *stats.LatencyRecorder {
+	if !s.instr {
+		return nil
+	}
+	for i, name := range cmdNames {
+		if name == op {
+			return s.perOp[i]
+		}
+	}
+	return nil
+}
+
 func (h *connHandler) doStats(args [][]byte) error {
 	if len(args) > 0 {
-		if len(args) == 1 && string(args[0]) == "items" {
-			return h.doStatsItems()
+		if len(args) == 1 {
+			switch string(args[0]) {
+			case "items":
+				return h.doStatsItems()
+			case "reset":
+				h.srv.ResetStats()
+				return h.reply(respReset)
+			case "slow":
+				return h.doStatsSlow()
+			}
 		}
 		// Unknown stats sub-command: memcached answers ERROR.
 		return h.replyError(respError)
@@ -1394,6 +1705,30 @@ func (h *connHandler) doStats(args [][]byte) error {
 	for _, l := range h.srv.statLines() {
 		if err := h.reply("STAT " + l.name + " " + l.value); err != nil {
 			return err
+		}
+	}
+	return h.reply(respEnd)
+}
+
+// doStatsSlow renders the slow-op ring, newest first: one row set per
+// captured op with its command, key prefix, latency, connection id,
+// and age. The reporting path allocates freely — only recording is on
+// the hot path.
+func (h *connHandler) doStatsSlow() error {
+	now := h.srv.cfg.Clock()
+	for i, op := range h.srv.SlowOps() {
+		p := fmt.Sprintf("STAT slow:%d:", i)
+		lines := []string{
+			p + "cmd " + op.Cmd,
+			p + "key " + op.Key,
+			fmt.Sprintf("%slatency_us %.1f", p, float64(op.Latency.Nanoseconds())/1e3),
+			fmt.Sprintf("%sconn %d", p, op.ConnID),
+			fmt.Sprintf("%sage_s %.1f", p, now.Sub(op.When).Seconds()),
+		}
+		for _, l := range lines {
+			if err := h.reply(l); err != nil {
+				return err
+			}
 		}
 	}
 	return h.reply(respEnd)

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The slow-op ring is alaskad's flight recorder: every command slower
+// than Config.SlowOpThreshold is recorded into a fixed, preallocated
+// ring so "what was slow just now?" is answerable after the fact —
+// `stats slow` on the wire, /debug/slowops on the admin port — without
+// keeping a log or allocating on the request path.
+//
+// The record path is lock-free and allocation-free: a slot is claimed
+// with one atomic add on the cursor, and the entry is filled under a
+// per-entry seqlock (sequence odd while writing, even when stable) so
+// a reader that races a writer detects the torn entry and skips it
+// instead of reporting garbage. The key is truncated into a fixed
+// array — the ring never references request memory.
+
+const (
+	// slowRingSize is the ring capacity; a power of two so the cursor
+	// wraps with a mask.
+	slowRingSize = 256
+	// slowOpKeyLen is the recorded key prefix. 32 bytes is enough to
+	// identify a key family; full keys would bloat the entries for the
+	// rare 250-byte tail.
+	slowOpKeyLen = 32
+)
+
+// slowEntry is one recorded operation. Fields are plain (not atomic):
+// the seqlock orders them — a writer publishes with seq even, a reader
+// rejects any entry whose seq was odd or changed across the copy.
+type slowEntry struct {
+	seq      atomic.Uint64
+	whenNs   int64 // wall clock, unixnano
+	latNs    int64
+	connID   uint64
+	cmd      cmdCode
+	keyLen   uint8
+	key      [slowOpKeyLen]byte
+	truncKey bool // key was longer than the recorded prefix
+}
+
+// slowRing is the fixed-size lock-free ring.
+type slowRing struct {
+	cur     atomic.Uint64 // total records ever; next slot is cur & mask
+	entries [slowRingSize]slowEntry
+}
+
+func newSlowRing() *slowRing { return &slowRing{} }
+
+// record claims the next slot and fills it. Allocation-free; safe from
+// any number of goroutines. An op recorded while slowRingSize newer ops
+// arrive is overwritten — the ring keeps the newest window, which is
+// the one an operator debugging a latency spike wants.
+func (r *slowRing) record(cmd cmdCode, key []byte, lat time.Duration, connID uint64, now time.Time) {
+	e := &r.entries[r.cur.Add(1)&(slowRingSize-1)]
+	seq := e.seq.Add(1) // odd: writing
+	e.whenNs = now.UnixNano()
+	e.latNs = lat.Nanoseconds()
+	e.connID = connID
+	e.cmd = cmd
+	e.keyLen = uint8(copy(e.key[:], key))
+	e.truncKey = len(key) > slowOpKeyLen
+	e.seq.Store(seq + 1) // even: stable
+}
+
+// SlowOp is one captured slow operation, decoded for the reporting
+// surfaces.
+type SlowOp struct {
+	Cmd     string        `json:"cmd"`
+	Key     string        `json:"key"` // recorded prefix; "..." appended if truncated
+	Latency time.Duration `json:"latency_ns"`
+	ConnID  uint64        `json:"conn"`
+	When    time.Time     `json:"when"`
+}
+
+// snapshot copies the stable entries out, newest first. Reporting path
+// only — it allocates freely.
+func (r *slowRing) snapshot() []SlowOp {
+	out := make([]SlowOp, 0, slowRingSize)
+	cur := r.cur.Load()
+	n := cur
+	if n > slowRingSize {
+		n = slowRingSize
+	}
+	for i := uint64(0); i < n; i++ {
+		e := &r.entries[(cur-i)&(slowRingSize-1)]
+		s1 := e.seq.Load()
+		if s1&1 != 0 {
+			continue // mid-write
+		}
+		op := SlowOp{
+			Cmd:     cmdNames[e.cmd],
+			Latency: time.Duration(e.latNs),
+			ConnID:  e.connID,
+			When:    time.Unix(0, e.whenNs),
+		}
+		key := string(e.key[:e.keyLen])
+		if e.truncKey {
+			key += "..."
+		}
+		op.Key = key
+		if e.seq.Load() != s1 {
+			continue // torn: a writer overtook the copy
+		}
+		out = append(out, op)
+	}
+	return out
+}

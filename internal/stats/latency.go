@@ -105,6 +105,44 @@ func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
 // Count returns the number of observations.
 func (r *LatencyRecorder) Count() int64 { return r.n.Load() }
 
+// Sum returns the total of all observed latencies.
+func (r *LatencyRecorder) Sum() time.Duration {
+	return time.Duration(r.sumNs.Load())
+}
+
+// OverflowBound is the bound ForEachBucket reports for the final
+// overflow bucket (observations past the largest explicit bound).
+const OverflowBound = int64(^uint64(0) >> 1)
+
+// ForEachBucket calls fn once per bucket in ascending bound order with
+// the bucket's upper bound in nanoseconds and its (non-cumulative)
+// count; the final overflow bucket is reported with bound =
+// OverflowBound. Like every query, it reads the counters without
+// stopping writers — a relaxed snapshot. The Prometheus exposition
+// renderer in internal/metrics is the main consumer.
+func (r *LatencyRecorder) ForEachBucket(fn func(boundNs int64, count int64)) {
+	for i := range r.counts {
+		bound := OverflowBound
+		if i < len(latencyBoundsNs) {
+			bound = latencyBoundsNs[i]
+		}
+		fn(bound, r.counts[i].Load())
+	}
+}
+
+// Reset zeroes the recorder (the `stats reset` surface). Records racing
+// the reset may leave a few counts behind or a count/sum that disagree
+// by an observation — the usual relaxed guarantee; the recorder stays
+// internally usable either way.
+func (r *LatencyRecorder) Reset() {
+	for i := range r.counts {
+		r.counts[i].Store(0)
+	}
+	r.n.Store(0)
+	r.sumNs.Store(0)
+	r.maxNs.Store(0)
+}
+
 // Mean returns the mean observed latency.
 func (r *LatencyRecorder) Mean() time.Duration {
 	n := r.n.Load()

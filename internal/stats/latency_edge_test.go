@@ -1,0 +1,164 @@
+package stats
+
+// Edge-case coverage for LatencyRecorder: empty and single-sample
+// recorders, the overflow bucket, ForEachBucket's contract (the
+// Prometheus renderer depends on it), Reset, and recording racing a
+// snapshot under -race.
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Count() != 0 || r.Sum() != 0 || r.Mean() != 0 || r.Max() != 0 {
+		t.Fatalf("empty recorder not all-zero: n=%d sum=%v mean=%v max=%v",
+			r.Count(), r.Sum(), r.Mean(), r.Max())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := r.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	total := int64(0)
+	r.ForEachBucket(func(_, count int64) { total += count })
+	if total != 0 {
+		t.Fatalf("empty recorder has %d bucketed observations", total)
+	}
+}
+
+func TestLatencyRecorderSingleSample(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(5 * time.Millisecond)
+	if r.Count() != 1 || r.Sum() != 5*time.Millisecond || r.Max() != 5*time.Millisecond {
+		t.Fatalf("single sample: n=%d sum=%v max=%v", r.Count(), r.Sum(), r.Max())
+	}
+	// Every percentile of one sample lands in its bucket: within one
+	// geometric step (25%) of the observation.
+	for _, p := range []float64{0, 50, 99.9} {
+		got := r.Percentile(p)
+		if got < 4*time.Millisecond || got > 7*time.Millisecond {
+			t.Fatalf("Percentile(%v) = %v, want ~5ms", p, got)
+		}
+	}
+}
+
+func TestLatencyRecorderOverflowBucket(t *testing.T) {
+	r := NewLatencyRecorder()
+	huge := 42 * time.Second // past the ~10s largest bound
+	r.Record(huge)
+	r.Record(time.Microsecond)
+	if r.Max() != huge {
+		t.Fatalf("Max = %v, want %v", r.Max(), huge)
+	}
+	// The tail percentile of an overflow observation reports the true
+	// max, not a bucket bound.
+	if got := r.Percentile(99.9); got != huge {
+		t.Fatalf("Percentile(99.9) = %v, want %v (the overflow max)", got, huge)
+	}
+	// ForEachBucket reports the overflow count under OverflowBound, with
+	// ascending bounds before it.
+	var lastBound int64 = -1
+	var overflowCount int64
+	seenOverflow := false
+	r.ForEachBucket(func(bound, count int64) {
+		if seenOverflow {
+			t.Fatal("buckets after the overflow bucket")
+		}
+		if bound == OverflowBound {
+			seenOverflow = true
+			overflowCount = count
+			return
+		}
+		if bound <= lastBound {
+			t.Fatalf("bucket bounds not ascending: %d after %d", bound, lastBound)
+		}
+		lastBound = bound
+	})
+	if !seenOverflow || overflowCount != 1 {
+		t.Fatalf("overflow bucket count = %d (seen=%v), want 1", overflowCount, seenOverflow)
+	}
+}
+
+func TestLatencyRecorderReset(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 0; i < 100; i++ {
+		r.Record(time.Duration(i+1) * time.Millisecond)
+	}
+	r.Record(time.Minute)
+	r.Reset()
+	if r.Count() != 0 || r.Sum() != 0 || r.Max() != 0 || r.Percentile(99) != 0 {
+		t.Fatalf("post-reset: n=%d sum=%v max=%v p99=%v, want zeros",
+			r.Count(), r.Sum(), r.Max(), r.Percentile(99))
+	}
+	total := int64(0)
+	r.ForEachBucket(func(_, count int64) { total += count })
+	if total != 0 {
+		t.Fatalf("post-reset buckets hold %d observations", total)
+	}
+	// The recorder stays usable after a reset.
+	r.Record(2 * time.Millisecond)
+	if r.Count() != 1 || r.Max() != 2*time.Millisecond {
+		t.Fatalf("recorder unusable after reset: n=%d max=%v", r.Count(), r.Max())
+	}
+}
+
+func TestLatencyRecorderMergeEdge(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(time.Millisecond)
+	r.Merge(nil) // no-op
+	r.Merge(r)   // self-merge must not double-count
+	if r.Count() != 1 {
+		t.Fatalf("after nil/self merges: n=%d, want 1", r.Count())
+	}
+	empty := NewLatencyRecorder()
+	r.Merge(empty)
+	if r.Count() != 1 || r.Max() != time.Millisecond {
+		t.Fatalf("merge of empty changed the recorder: n=%d max=%v", r.Count(), r.Max())
+	}
+	empty.Merge(r)
+	if empty.Count() != 1 || empty.Max() != time.Millisecond || empty.Sum() != time.Millisecond {
+		t.Fatalf("merge into empty: n=%d max=%v sum=%v", empty.Count(), empty.Max(), empty.Sum())
+	}
+}
+
+// TestLatencyRecorderSnapshotDuringRecord races ForEachBucket, Reset,
+// and Percentile against concurrent Records — the relaxed-snapshot
+// guarantee under -race.
+func TestLatencyRecorderSnapshotDuringRecord(t *testing.T) {
+	r := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record(time.Duration(i%1000+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		var cum int64
+		r.ForEachBucket(func(_, count int64) {
+			if count < 0 {
+				t.Errorf("negative bucket count %d", count)
+			}
+			cum += count
+		})
+		_ = r.Percentile(99)
+		_ = r.Summary()
+		if i%50 == 0 {
+			r.Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
