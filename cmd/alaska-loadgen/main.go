@@ -78,6 +78,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "open-loop target ops/s across all connections (latency measured from intended start); 0 = closed loop")
 	latencyCSV := flag.String("latency-csv", "", "write a per-second latency-over-time CSV of the measured window to this file")
 	hold := flag.Int("hold", 0, "extra connections opened before the run and held idle (never sending a byte) — exercises -max-conns and -idle-timeout")
+	noLoad := flag.Bool("no-load", false, "skip the preload phase and run against whatever the server already holds — measures a warm server, e.g. right after a -persist restart")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	showStats := flag.Bool("server-stats", true, "fetch and print server stats after the run")
 	csv := flag.Bool("csv", false, "emit a one-line CSV result instead of the report")
@@ -136,7 +137,7 @@ func main() {
 	var wg sync.WaitGroup
 	var loadErr atomic.Value
 	loadConns := *conns
-	if churn {
+	if churn || *noLoad {
 		loadConns = 0
 	}
 	for c := 0; c < loadConns; c++ {
@@ -353,7 +354,15 @@ func main() {
 				var opErr error
 				switch op.Type {
 				case ycsb.Read:
-					_, _, _, opErr = cl.Get(op.Key)
+					var ok bool
+					_, _, ok, opErr = cl.Get(op.Key)
+					if opErr == nil {
+						if ok {
+							hits.Add(1)
+						} else {
+							misses.Add(1)
+						}
+					}
 				case ycsb.ReadModifyWrite:
 					if _, _, _, opErr = cl.Get(op.Key); opErr == nil {
 						opErr = cl.SetEx(op.Key, 0, *ttl, val[:size(op.ValueSize)])
@@ -402,6 +411,8 @@ func main() {
 			strings.ToUpper(*workloadFlag), *conns, *records, *valueSize)
 		if churn {
 			fmt.Println("load: skipped (churn fills on miss)")
+		} else if *noLoad {
+			fmt.Println("load: skipped (-no-load: measuring the server's existing contents)")
 		} else {
 			fmt.Printf("load: %d records in %v\n", *records, loadDur.Round(time.Millisecond))
 		}
@@ -413,6 +424,12 @@ func main() {
 		fmt.Printf("latency: mean=%v p50=%v p99=%v p999=%v max=%v\n",
 			merged.Mean(), merged.Percentile(50), merged.Percentile(99),
 			merged.Percentile(99.9), merged.Max())
+		// Read hit rate for the YCSB mixes: with -no-load after a -persist
+		// restart, this is the warm-restart figure of merit (the churn
+		// workload prints its own fill-rate line below instead).
+		if h, m := hits.Load(), misses.Load(); !churn && h+m > 0 {
+			fmt.Printf("reads: hits=%d misses=%d hit_rate=%.4f\n", h, m, float64(h)/float64(h+m))
+		}
 		if *hold > 0 {
 			fmt.Printf("idle holds: %d opened, %d kicked by server\n", *hold, holdKicked.Load())
 		}

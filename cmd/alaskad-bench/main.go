@@ -38,6 +38,7 @@ import (
 	"alaska/internal/rt"
 	"alaska/internal/server"
 	"alaska/internal/stats"
+	"alaska/internal/wal"
 	"alaska/internal/ycsb"
 )
 
@@ -157,6 +158,7 @@ func main() {
 		return cl.Set("bench:key", 7, val)
 	}))
 	cur.Results = append(cur.Results, measurePipelined(srv.Addr(), *ops, *pipeline, *valueSize))
+	cur.Results = append(cur.Results, measurePersist(*backendName, *ops, *valueSize)...)
 
 	// Ceiling churn: the same fixed -m budget across all three backends,
 	// zipfian get + set-on-miss over a keyspace that dwarfs the ceiling.
@@ -261,6 +263,71 @@ func measureNoInstr(backendName string, n, valueSize int) result {
 		}
 		return err
 	})
+}
+
+// measurePersist reruns the GET-hit and SET shapes against a server
+// with the pack log attached, so the file carries a persistence-on vs.
+// persistence-off A/B for the same workload. The delta between set and
+// set_persist is the logging tax the ring buys down: framing + CRC into
+// an in-memory ring, with the actual write+fsync on a background
+// goroutine. get_hit_persist should be indistinguishable from get_hit
+// (reads are never logged).
+func measurePersist(backendName string, n, valueSize int) []result {
+	dir, err := os.MkdirTemp("", "alaskad-bench-wal-")
+	if err != nil {
+		log.Fatalf("persist: tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	wlog, err := wal.Open(wal.Options{
+		Dir: dir,
+		// No background CRC audit during measurement: its scan buffers
+		// would show up in the process-wide allocation deltas.
+		AuditInterval: -1,
+	})
+	if err != nil {
+		log.Fatalf("persist: wal open: %v", err)
+	}
+	store := kv.NewShardedStore(newBackend(backendName), 8, 0)
+	if err := wlog.Start(store); err != nil {
+		log.Fatalf("persist: wal start: %v", err)
+	}
+	store.SetMutationLog(wlog)
+	srv := server.New(store, server.Config{
+		Addr:             "127.0.0.1:0",
+		Version:          "bench-persist",
+		MaintainInterval: time.Hour,
+		WAL:              wlog,
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("persist: listen: %v", err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Shutdown(2 * time.Second)
+
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		log.Fatalf("persist: dial: %v", err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	if err := cl.Set("bench:key", 7, val); err != nil {
+		log.Fatalf("persist prime: %v", err)
+	}
+	rs := []result{measure("get_hit_persist", n, func() error {
+		_, _, ok, err := cl.Get("bench:key")
+		if err == nil && !ok {
+			return fmt.Errorf("unexpected miss")
+		}
+		return err
+	})}
+	rs = append(rs, measure("set_persist", n, func() error {
+		return cl.Set("bench:key", 7, val)
+	}))
+	return rs
 }
 
 // measureCeilingChurn boots a fresh capped server on the named backend

@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -33,6 +32,7 @@ import (
 	"alaska/internal/logx"
 	"alaska/internal/rt"
 	"alaska/internal/server"
+	"alaska/internal/wal"
 )
 
 const version = "0.3.0-alaska"
@@ -71,6 +71,9 @@ func main() {
 	fragHigh := flag.Float64("defrag-frag-high", 1.3, "fragmentation threshold for pause-free concurrent passes (anchorage)")
 	budget := flag.String("defrag-budget", "1MiB", "bytes moved per concurrent defrag pass")
 	seed := flag.Int64("seed", 1, "seed for the mesh backend's probe randomness")
+	persist := flag.Bool("persist", false, "enable the append-only pack log: every mutation is batch-appended to -data-dir and replayed at boot for a warm restart")
+	dataDir := flag.String("data-dir", "", "pack-log directory (required with -persist)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "pack-log batch/fsync window: a hard kill loses at most this much acknowledged traffic")
 	slowOp := flag.Duration("slow-op-threshold", 10*time.Millisecond, "record commands slower than this in the slow-op ring (stats slow, /debug/slowops); negative = disabled")
 	verbose := flag.Int("verbose", 0, "log verbosity: 0 errors, 1 lifecycle, 2+ per-connection churn (the wire `verbosity` command changes it at runtime)")
 	noInstr := flag.Bool("disable-instrumentation", false, "turn off per-opcode histograms, byte counters, and the slow-op ring (for A/B measurement; the plane is allocation-free, so leave it on)")
@@ -136,6 +139,39 @@ func main() {
 	// per-shard maxMem/shards split also truncated to 0 when the cap was
 	// smaller than the shard count).
 	store := kv.NewShardedStore(backend, *shards, maxMem)
+
+	// Persistence: open the pack log, replay it into the store (warm
+	// restart), then start the writer and attach the mutation hooks —
+	// strictly in that order, so replay itself is never re-logged.
+	var wlog *wal.Log
+	if *persist || *dataDir != "" {
+		if !*persist || *dataDir == "" {
+			fatalf("-persist and -data-dir must be used together")
+		}
+		var err error
+		wlog, err = wal.Open(wal.Options{
+			Dir:           *dataDir,
+			FsyncInterval: *fsyncInterval,
+			Logger:        logger,
+		})
+		if err != nil {
+			fatalf("wal open: %v", err)
+		}
+		rsess := store.NewSession()
+		replayStart := time.Now()
+		rs, err := wlog.Replay(store, rsess)
+		_ = rsess.Close()
+		if err != nil {
+			fatalf("wal replay: %v", err)
+		}
+		if err := wlog.Start(store); err != nil {
+			fatalf("wal start: %v", err)
+		}
+		store.SetMutationLog(wlog)
+		fmt.Fprintf(os.Stderr, "alaskad: warm restart: replayed %d records (%d sets, %d deletes, %d live items) from %s in %v; torn=%d crc_errors=%d\n",
+			rs.Records, rs.Sets, rs.Deletes, store.Len(), *dataDir, time.Since(replayStart).Round(time.Millisecond), rs.TornRecords, rs.CrcErrors)
+	}
+
 	srv := server.New(store, server.Config{
 		Addr:                   *addr,
 		MaxValueSize:           int(maxVal),
@@ -151,6 +187,7 @@ func main() {
 		SlowOpThreshold:        *slowOp,
 		Logger:                 logger,
 		DisableInstrumentation: *noInstr,
+		WAL:                    wlog,
 	})
 	if err := srv.Listen(); err != nil {
 		fatalf("listen: %v", err)
@@ -170,11 +207,9 @@ func main() {
 			fatalf("admin listen: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "alaskad: admin endpoint on http://%s (/metrics /healthz /debug/pprof /debug/vars /debug/slowops)\n", aln.Addr())
-		go func() {
-			if err := http.Serve(aln, server.NewAdminHandler(srv)); err != nil {
-				logger.Errorf("admin serve: %v", err)
-			}
-		}()
+		// Owned by the server: Shutdown drains in-flight scrapes and
+		// releases the port instead of leaking the listener.
+		srv.AttachAdmin(aln)
 	}
 
 	sig := make(chan os.Signal, 1)

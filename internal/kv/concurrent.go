@@ -42,6 +42,11 @@ type ShardedStore struct {
 	// reaches it. An atomic so FlushAll is O(1) and lock-free while the
 	// per-entry check rides the existing lazy-expiry paths.
 	flushAt atomic.Int64
+
+	// mlog, when non-nil, receives every state-changing mutation for
+	// persistence (see MutationLog / SetMutationLog). Read without
+	// synchronization on the hot path; set before serving traffic.
+	mlog MutationLog
 }
 
 // shardCounters are the per-shard operation counters, all atomics:
@@ -283,7 +288,12 @@ func (s *ShardedStore) deadAt(e *entry, now time.Time) bool {
 // reclamation sweep per shard by Maintain after the epoch passes.
 // Entries stored after the epoch (even while it is still pending) are
 // untouched. O(1) no matter how many items are live.
-func (s *ShardedStore) FlushAll(at time.Time) { s.flushAt.Store(at.UnixNano()) }
+func (s *ShardedStore) FlushAll(at time.Time) {
+	s.flushAt.Store(at.UnixNano())
+	if s.mlog != nil {
+		s.mlog.LogFlushAll(at)
+	}
+}
 
 // liveLocked applies lazy expiry to a looked-up entry: a dead one is
 // reclaimed on the spot (counted in Expired) and reported absent —
@@ -327,8 +337,18 @@ func (s *ShardedStore) lookupLockedB(sh *shard, key []byte, now time.Time) (*ent
 // free list, so the steady-state set path (including eviction churn at
 // the ceiling) allocates nothing; only a brand-new key interns a
 // string. Caller holds sh.mu.
-func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value []byte, expireAt time.Time) error {
+//
+// storedAt is the store timestamp recorded on the entry: zero means
+// "now" (every live path); WAL replay passes the record's original
+// timestamp so the flush_all-epoch check stays correct across a
+// restart. record=false suppresses the mutation-log hook — replay must
+// not re-log the records it is applying.
+func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value []byte, expireAt, storedAt time.Time, record bool) error {
 	now := s.now()
+	at := storedAt
+	if at.IsZero() {
+		at = now
+	}
 	newCost := entryCost(len(key), len(value))
 	var reserved uint64
 	if s.maxMemory > 0 {
@@ -362,12 +382,15 @@ func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value [
 		_ = s.backend.Free(old.ref, old.size)
 		old.ref = ref
 		old.size = uint64(len(value))
-		old.storedAt = now
+		old.storedAt = at
 		old.fetched = false
 		old.lastUsed = now.UnixNano()
 		sh.setDeadline(old, expireAt)
 		sh.lru.moveToFront(old)
 		sh.noteTail()
+		if record && s.mlog != nil {
+			s.mlog.LogSet(key, value, expireAt, at)
+		}
 		return nil
 	}
 	e := sh.free.get()
@@ -375,7 +398,7 @@ func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value [
 		e = &entry{}
 	}
 	e.key, e.ref, e.size = string(key), ref, uint64(len(value))
-	e.expireAt, e.storedAt = expireAt, now
+	e.expireAt, e.storedAt = expireAt, at
 	e.lastUsed = now.UnixNano()
 	sh.lru.pushFront(e)
 	sh.index[e.key] = e
@@ -386,6 +409,9 @@ func (s *ShardedStore) insertLocked(sh *shard, sess Session, key []byte, value [
 		sh.ttl++
 	}
 	sh.noteTail()
+	if record && s.mlog != nil {
+		s.mlog.LogSet(key, value, expireAt, at)
+	}
 	return nil
 }
 
@@ -550,7 +576,7 @@ func (s *ShardedStore) setEx(sess Session, sh *shard, key, value []byte, mode Se
 			return false, nil
 		}
 	}
-	if err := s.insertLocked(sh, sess, key, value, expireAt); err != nil {
+	if err := s.insertLocked(sh, sess, key, value, expireAt, time.Time{}, true); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -604,6 +630,9 @@ func (s *ShardedStore) apply(sess Session, sh *shard, key []byte, needValue bool
 	case ApplyDelete:
 		if found {
 			s.removeLocked(sh, e)
+			if s.mlog != nil {
+				s.mlog.LogDelete(key)
+			}
 		}
 	case ApplyTouch:
 		if found {
@@ -611,13 +640,16 @@ func (s *ShardedStore) apply(sess Session, sh *shard, key []byte, needValue bool
 			e.lastUsed = s.now().UnixNano()
 			sh.lru.moveToFront(e)
 			sh.noteTail()
+			if s.mlog != nil {
+				s.mlog.LogTouch(key, op.Expire)
+			}
 		}
 	case ApplyStore:
 		expire := op.Expire
 		if op.KeepExpire && found {
 			expire = e.expireAt
 		}
-		if err := s.insertLocked(sh, sess, key, op.Value, expire); err != nil {
+		if err := s.insertLocked(sh, sess, key, op.Value, expire, time.Time{}, true); err != nil {
 			return scratch, err
 		}
 	default:
@@ -733,6 +765,9 @@ func (s *ShardedStore) getInto(sess Session, sh *shard, key []byte, touch bool, 
 	if touch {
 		sh.stats.touchHits.Add(1)
 		sh.setDeadline(e, expireAt)
+		if s.mlog != nil {
+			s.mlog.LogTouch(key, expireAt)
+		}
 	}
 	return out, true, nil
 }
@@ -759,6 +794,9 @@ func (s *ShardedStore) del(sh *shard, key []byte) (bool, error) {
 	}
 	sh.stats.deleteHits.Add(1)
 	s.removeLocked(sh, e)
+	if s.mlog != nil {
+		s.mlog.LogDelete(key)
+	}
 	return true, nil
 }
 

@@ -2,7 +2,9 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
+	"net"
 	"net/http"
 	"net/http/pprof"
 )
@@ -47,4 +49,19 @@ func NewAdminHandler(s *Server) http.Handler {
 		_ = enc.Encode(ops)
 	})
 	return mux
+}
+
+// AttachAdmin serves the admin plane on ln under the server's
+// lifecycle: Server.Shutdown drains it via http.Server.Shutdown, so
+// in-flight scrapes complete and the port is released — the previous
+// bare http.Serve leaked the listener (and whatever scrape it was
+// serving) on SIGTERM. Call before Serve.
+func (s *Server) AttachAdmin(ln net.Listener) {
+	srv := &http.Server{Handler: NewAdminHandler(s)}
+	s.admin = srv
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logger.Errorf("admin serve: %v", err)
+		}
+	}()
 }

@@ -6,6 +6,7 @@ import (
 
 	"alaska/internal/kv"
 	"alaska/internal/metrics"
+	"alaska/internal/wal"
 )
 
 // sampledFloat decodes a gauge stored as math.Float64bits in an atomic.
@@ -163,6 +164,42 @@ func (s *Server) buildRegistry() *registryState {
 		defragCtr("alaskad_defrag_truncated_bytes_total",
 			"Sub-heap tail bytes returned to the OS.",
 			func() int64 { return int64(s.anch.Svc.MetricsSnapshot().Truncated) })
+	}
+
+	// Persistence (pack log). The counter closures read the same atomics
+	// the writer goroutine bumps; the fsync histogram is the recorder the
+	// writer records into — a scrape costs no I/O and takes no locks the
+	// append path contends on.
+	if w := s.cfg.WAL; w != nil {
+		walCtr := func(name, help string, get func(wal.Stats) int64) {
+			r.CounterFunc(name, help, func() float64 { return float64(get(w.Stats())) })
+		}
+		walCtr("alaskad_wal_appended_records_total", "Records appended to the pack-log ring.",
+			func(ws wal.Stats) int64 { return ws.AppendedRecords })
+		walCtr("alaskad_wal_appended_bytes_total", "Framed record bytes appended to the ring.",
+			func(ws wal.Stats) int64 { return ws.AppendedBytes })
+		walCtr("alaskad_wal_dropped_records_total", "Records dropped because the ring was full (forces compaction).",
+			func(ws wal.Stats) int64 { return ws.DroppedRecords })
+		walCtr("alaskad_wal_fsyncs_total", "Batch fsyncs completed by the writer goroutine.",
+			func(ws wal.Stats) int64 { return ws.Fsyncs })
+		walCtr("alaskad_wal_io_errors_total", "Append/fsync/compaction I/O failures.",
+			func(ws wal.Stats) int64 { return ws.IOErrors })
+		walCtr("alaskad_wal_compactions_total", "Live-set compactions completed.",
+			func(ws wal.Stats) int64 { return ws.Compactions })
+		walCtr("alaskad_wal_replay_records_total", "Records applied by the boot-time replay.",
+			func(ws wal.Stats) int64 { return ws.Replay.Records })
+		walCtr("alaskad_wal_replay_torn_records_total", "Torn-tail records truncated at replay.",
+			func(ws wal.Stats) int64 { return ws.Replay.TornRecords })
+		walCtr("alaskad_wal_replay_crc_errors_total", "Records rejected by CRC/frame validation at replay.",
+			func(ws wal.Stats) int64 { return ws.Replay.CrcErrors })
+		walCtr("alaskad_wal_audit_errors_total", "Invalid records found by the background CRC audit.",
+			func(ws wal.Stats) int64 { return ws.AuditErrors })
+		r.GaugeFunc("alaskad_wal_disk_bytes", "Total on-disk pack-log bytes (active + sealed segments).",
+			func() float64 { return float64(w.Stats().DiskBytes) })
+		r.GaugeFunc("alaskad_wal_segments", "Pack-log segment files on disk.",
+			func() float64 { return float64(w.Stats().Segments) })
+		r.Histogram("alaskad_wal_fsync_seconds",
+			"Duration of pack-log batch fsyncs.", w.FsyncLatency())
 	}
 	return st
 }

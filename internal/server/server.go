@@ -3,11 +3,13 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"sync"
@@ -17,6 +19,7 @@ import (
 	"alaska/internal/kv"
 	"alaska/internal/logx"
 	"alaska/internal/stats"
+	"alaska/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -87,6 +90,13 @@ type Config struct {
 	// connection churn at debug (the wire `verbosity` command moves the
 	// level at runtime). nil = silent.
 	Logger *logx.Logger
+	// WAL, when non-nil, is the persistence layer (already opened,
+	// replayed, started, and attached to the store via SetMutationLog —
+	// see cmd/alaskad). The server owns its remaining lifecycle: the
+	// Maintain loop drives compaction next to defrag, `stats` and
+	// /metrics surface its counters, and Shutdown closes it after the
+	// last connection drains, so a clean stop loses nothing.
+	WAL *wal.Log
 	// SpacePaddedDecr enables memcached's classic decr compatibility
 	// behavior: a decrement whose result has fewer digits than the stored
 	// value is right-padded with spaces to the old length (so the item
@@ -199,6 +209,11 @@ type Server struct {
 	registryOnce sync.Once
 	registry     *registryState
 
+	// admin is the -admin-addr HTTP server once AttachAdmin has run;
+	// Shutdown drains it (in-flight scrapes complete, then the port is
+	// released) instead of leaking the listener.
+	admin *http.Server
+
 	closeOnce sync.Once
 }
 
@@ -295,6 +310,10 @@ func New(store *kv.ShardedStore, cfg Config) *Server {
 		quit:  make(chan struct{}),
 		conns: make(map[*conn]struct{}),
 		lat:   stats.NewLatencyRecorder(),
+		// Stamped at construction, not in Serve: the admin plane (and
+		// its uptime gauge) can be serving scrapes before the accept
+		// loop starts, and a late overwrite would race them.
+		start: time.Now(),
 	}
 	s.instr = !s.cfg.DisableInstrumentation
 	if s.instr {
@@ -355,7 +374,6 @@ func (s *Server) Addr() string {
 // never kills a server holding thousands of live connections. It always
 // returns nil after a clean shutdown.
 func (s *Server) Serve() error {
-	s.start = time.Now()
 	s.wg.Add(1)
 	go s.maintainLoop()
 	backoff := acceptBackoffMin
@@ -509,8 +527,32 @@ func (s *Server) Shutdown(drain time.Duration) error {
 			<-done
 		}
 		s.wg.Wait()
+		// The admin plane stays up while the data plane drains (operators
+		// can watch the drain on /metrics), then shuts down gracefully:
+		// http.Server.Shutdown releases the port immediately and waits for
+		// in-flight scrapes to complete, bounded by the same drain budget.
+		if s.admin != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), maxDur(drain, time.Second))
+			if err := s.admin.Shutdown(ctx); err != nil {
+				_ = s.admin.Close()
+			}
+			cancel()
+		}
+		// The WAL closes last — every connection and the maintain loop
+		// have stopped, so the final ring drain + fsync makes a clean
+		// shutdown byte-complete on disk.
+		if s.cfg.WAL != nil {
+			_ = s.cfg.WAL.Close()
+		}
 	})
 	return nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // maintainLoop is the background maintenance goroutine: it drives the
@@ -551,6 +593,12 @@ func (s *Server) maintainLoop() {
 				if drained := s.anch.Svc.DrainDeferred(); drained > 0 {
 					s.drainedBytes.Add(drained)
 				}
+			}
+			// Log compaction rides the same tick as defrag: the check is
+			// a couple of atomic loads; the rewrite itself runs on the
+			// WAL's writer goroutine.
+			if s.cfg.WAL != nil {
+				s.cfg.WAL.MaybeCompact()
 			}
 			s.sampleGauges()
 			s.reapIdle()
@@ -1619,6 +1667,30 @@ func (s *Server) statLines() []statLine {
 			statLine{"defrag_pause_p99_us", fmt.Sprintf("%.1f", float64(s.pauseLat.Percentile(99).Nanoseconds())/1e3)},
 			statLine{"safepoint_wait_p99_us", fmt.Sprintf("%.1f", float64(s.safepointLat.Percentile(99).Nanoseconds())/1e3)},
 			statLine{"heap_fragmentation", fmt.Sprintf("%.3f", s.anch.Svc.Fragmentation())},
+		)
+	}
+	if w := s.cfg.WAL; w != nil {
+		ws := w.Stats()
+		lines = append(lines,
+			statLine{"wal_appended_records", fmt.Sprintf("%d", ws.AppendedRecords)},
+			statLine{"wal_appended_bytes", fmt.Sprintf("%d", ws.AppendedBytes)},
+			statLine{"wal_dropped_records", fmt.Sprintf("%d", ws.DroppedRecords)},
+			statLine{"wal_fsyncs", fmt.Sprintf("%d", ws.Fsyncs)},
+			statLine{"wal_fsync_p99_us", fmt.Sprintf("%.1f", float64(w.FsyncLatency().Percentile(99).Nanoseconds())/1e3)},
+			statLine{"wal_io_errors", fmt.Sprintf("%d", ws.IOErrors)},
+			statLine{"wal_disk_bytes", fmt.Sprintf("%d", ws.DiskBytes)},
+			statLine{"wal_segments", fmt.Sprintf("%d", ws.Segments)},
+			statLine{"wal_rotations", fmt.Sprintf("%d", ws.Rotations)},
+			statLine{"wal_compactions", fmt.Sprintf("%d", ws.Compactions)},
+			statLine{"wal_snapshot_records", fmt.Sprintf("%d", ws.SnapshotRecords)},
+			statLine{"wal_replay_records", fmt.Sprintf("%d", ws.Replay.Records)},
+			statLine{"wal_replay_bytes", fmt.Sprintf("%d", ws.Replay.Bytes)},
+			statLine{"wal_replay_skipped_dead", fmt.Sprintf("%d", ws.Replay.SkippedDead)},
+			statLine{"wal_replay_torn_records", fmt.Sprintf("%d", ws.Replay.TornRecords)},
+			statLine{"wal_replay_crc_errors", fmt.Sprintf("%d", ws.Replay.CrcErrors)},
+			statLine{"wal_audit_runs", fmt.Sprintf("%d", ws.AuditRuns)},
+			statLine{"wal_audit_records", fmt.Sprintf("%d", ws.AuditRecords)},
+			statLine{"wal_audit_errors", fmt.Sprintf("%d", ws.AuditErrors)},
 		)
 	}
 	return lines

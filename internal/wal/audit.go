@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"os"
+	"time"
+)
+
+// initialAuditDelay is how soon after Start the first audit pass runs:
+// quickly enough that a restart smoke (and an operator who just
+// recovered from a crash) gets a verdict on the replayed history
+// without waiting a full AuditInterval.
+const initialAuditDelay = time.Second
+
+// auditLoop periodically re-reads the sealed segments and verifies
+// every record frame and CRC — background integrity checking in the
+// spirit of an object store's device audit, so bit rot is a counter on
+// /metrics instead of a surprise at the next restart. The active
+// segment is skipped (its tail is mid-write by design); everything
+// recovered from a previous run is sealed and therefore covered.
+func (l *Log) auditLoop() {
+	defer close(l.auditDone)
+	if l.opt.AuditInterval < 0 {
+		return
+	}
+	delay := initialAuditDelay
+	if l.opt.AuditInterval < delay {
+		delay = l.opt.AuditInterval
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-t.C:
+			l.auditOnce()
+			t.Reset(l.opt.AuditInterval)
+		}
+	}
+}
+
+// auditOnce verifies one full pass over the sealed segments.
+func (l *Log) auditOnce() {
+	l.segMu.Lock()
+	segs := append([]segment(nil), l.sealed...)
+	l.segMu.Unlock()
+	for _, sg := range segs {
+		records, _, _, verdict, err := scanSegment(sg.path, nil)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // compacted away mid-pass
+			}
+			l.auditErrors.Add(1)
+			l.opt.Logger.Errorf("wal: audit %s: %v", sg.path, err)
+			continue
+		}
+		l.auditRecords.Add(records)
+		if verdict != scanClean {
+			l.auditErrors.Add(1)
+			l.opt.Logger.Errorf("wal: audit %s: invalid record after %d valid", sg.path, records)
+		}
+	}
+	l.auditRuns.Add(1)
+}

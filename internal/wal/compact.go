@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"bufio"
+	"os"
+	"time"
+)
+
+// compact rewrites the log to the store's live set. Runs on the writer
+// goroutine (so it owns all file state). Protocol:
+//
+//  1. Drain the ring and seal the active segment N. Reserve sequence
+//     N+1 for the snapshot and open a new active segment N+2, so
+//     appends racing the dump keep landing — on a file that replays
+//     AFTER the snapshot.
+//  2. Stream the live set (flush epoch first, then every live entry
+//     with its original deadline and store timestamp) into
+//     pack-(N+1).log.tmp.
+//  3. fsync, atomically rename to pack-(N+1).log, fsync the directory.
+//  4. Delete every segment with seq <= N: the snapshot covers them.
+//
+// Correctness rests on records being absolute post-state: any mutation
+// that landed in N+2 before the dump read its key is also reflected in
+// the snapshot, and re-applying it on top is convergent, not double
+// counting. A crash at any point leaves either the old segments intact
+// (before the rename) or the snapshot plus the new tail (after) — both
+// replay to the same store. The half-written .tmp of a crashed
+// compaction is deleted at Open.
+func (l *Log) compact() {
+	if l.src == nil || l.f == nil {
+		return
+	}
+	l.needCompact.Store(false)
+	l.flushBatch()
+	l.sealActive()
+	snapSeq := l.nextSeq
+	l.nextSeq++
+	if err := l.openSegment(); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: compact: open active: %v", err)
+		return
+	}
+
+	tmpPath := l.segPath(snapSeq) + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: compact: %v", err)
+		return
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	hdr := fileHeader()
+	_, _ = bw.Write(hdr[:])
+
+	var records, bytes int64
+	var scratch []byte
+	write := func(rec []byte) error {
+		n, err := bw.Write(rec)
+		records++
+		bytes += int64(n)
+		return err
+	}
+	fail := func(err error) {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: compact: %v", err)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+	}
+
+	start := time.Now()
+	if fa := l.src.FlushEpoch(); !fa.IsZero() {
+		scratch = appendFlushRecord(scratch[:0], fa)
+		if err := write(scratch); err != nil {
+			fail(err)
+			return
+		}
+	}
+	// The dump session leaves idle only for the dump itself; every few
+	// hundred entries the ring is drained into the new active segment so
+	// a long dump cannot overflow it.
+	l.srcSess.ExitIdle()
+	err = l.src.Dump(l.srcSess, func(key, value []byte, expireAt, storedAt time.Time) error {
+		scratch = appendSetRecord(scratch[:0], key, value, expireAt, storedAt)
+		if err := write(scratch); err != nil {
+			return err
+		}
+		if records%512 == 0 {
+			l.flushBatch()
+		}
+		return nil
+	})
+	l.srcSess.EnterIdle()
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		fail(err)
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		fail(err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		fail(err)
+		return
+	}
+	if err := os.Rename(tmpPath, l.segPath(snapSeq)); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: compact: rename: %v", err)
+		_ = os.Remove(tmpPath)
+		return
+	}
+	l.syncDir()
+
+	// Swap the sealed registry: drop everything the snapshot supersedes.
+	snapSize := bytes + fileHeaderLen
+	l.segMu.Lock()
+	var kept []segment
+	var keptBytes int64
+	for _, sg := range l.sealed {
+		if sg.seq < snapSeq {
+			_ = os.Remove(sg.path)
+			continue
+		}
+		kept = append(kept, sg)
+		keptBytes += sg.size
+	}
+	l.sealed = append(kept, segment{seq: snapSeq, path: l.segPath(snapSeq), size: snapSize})
+	l.segMu.Unlock()
+	l.sealedBytes.Store(keptBytes + snapSize)
+	l.syncDir()
+
+	l.compactions.Add(1)
+	l.snapshotRecords.Store(records)
+	l.snapshotBytes.Store(snapSize)
+	l.opt.Logger.Infof("wal: compacted to %d records (%d bytes) in %v", records, snapSize, time.Since(start))
+}

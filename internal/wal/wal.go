@@ -1,0 +1,665 @@
+// Package wal is alaskad's optional persistence layer: an append-only
+// "pack log" of CRC-checked records (set/delete/touch/flush-epoch) that
+// makes a kill -9 restart warm instead of cold.
+//
+// The design keeps durability entirely off the request path. Mutating
+// operations append an encoded record to a bounded in-memory ring —
+// a fixed buffer, a mutex, no allocation, no syscall — and a dedicated
+// writer goroutine drains the ring in batches, appending to the active
+// segment file and fsyncing once per batch (at most once per
+// FsyncInterval under steady load). The request path therefore stays at
+// exactly 0 allocs/op and never blocks on disk; the price is a bounded
+// durability window — a hard kill loses at most the appends since the
+// last completed fsync batch.
+//
+// If the ring ever fills (a stalled disk), records are dropped and
+// counted rather than blocking the request path; the log is then marked
+// for compaction, which rewrites it from the store's authoritative live
+// set and restores log/store consistency.
+//
+// Compaction piggybacks on the server's Maintain loop (MaybeCompact)
+// the same way defrag does: when the log grows past CompactFactor times
+// the live set, the writer seals the active segment, streams the live
+// set into a snapshot segment that slots between the sealed history and
+// the new active segment, atomically renames it into place, and deletes
+// the superseded files. Because every record is absolute post-state,
+// replaying the appends that raced the snapshot on top of it is
+// convergent.
+//
+// A background audit pass re-reads sealed segments on a timer and
+// verifies every frame's CRC, so silent corruption is surfaced by a
+// counter long before the next restart trips over it.
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alaska/internal/kv"
+	"alaska/internal/logx"
+	"alaska/internal/stats"
+)
+
+// Options configures a Log. Zero values take the documented defaults.
+type Options struct {
+	// Dir is the log directory (alaskad's -data-dir). Created if absent.
+	Dir string
+	// FsyncInterval is the batch window: the writer drains the ring and
+	// fsyncs at least this often, bounding the data-loss window of a
+	// hard kill. Default 100ms.
+	FsyncInterval time.Duration
+	// RingBytes sizes the in-memory ring between the request path and
+	// the writer. At the default 100ms window the ring must absorb one
+	// window's worth of encoded mutations; overflow drops records (and
+	// forces a compaction) instead of blocking. Default 8 MiB.
+	RingBytes int
+	// SegmentBytes rotates the active segment past this size. Default 64 MiB.
+	SegmentBytes int64
+	// AuditInterval is the background CRC-audit period; the first pass
+	// runs ~1s after Start. Negative disables the audit. Default 60s.
+	AuditInterval time.Duration
+	// CompactMinBytes is the log size below which MaybeCompact never
+	// triggers (compacting a tiny log is churn for nothing). Default 8 MiB.
+	CompactMinBytes int64
+	// CompactFactor triggers compaction when on-disk bytes exceed this
+	// multiple of the store's live charged bytes. Default 2.0.
+	CompactFactor float64
+	// Logger receives lifecycle and error output; nil = silent.
+	Logger *logx.Logger
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FsyncInterval <= 0 {
+		out.FsyncInterval = 100 * time.Millisecond
+	}
+	if out.RingBytes == 0 {
+		out.RingBytes = 8 << 20
+	}
+	if out.SegmentBytes == 0 {
+		out.SegmentBytes = 64 << 20
+	}
+	if out.AuditInterval == 0 {
+		out.AuditInterval = 60 * time.Second
+	}
+	if out.CompactMinBytes == 0 {
+		out.CompactMinBytes = 8 << 20
+	}
+	if out.CompactFactor == 0 {
+		out.CompactFactor = 2.0
+	}
+	return out
+}
+
+// segment is one immutable (sealed) log file.
+type segment struct {
+	seq  uint64
+	path string
+	size int64
+}
+
+// Log is an append-only pack log over a directory of segment files.
+// Producers (request goroutines, via the kv.MutationLog hooks) append
+// to the ring; one writer goroutine owns all file I/O.
+type Log struct {
+	opt Options
+
+	// Ring state, guarded by mu. The staging arrays are fields rather
+	// than stack temporaries so the producer path provably never
+	// allocates.
+	mu    sync.Mutex
+	ring  []byte
+	rpos  int // next write offset into ring
+	rused int
+	phead [20]byte
+	fhdr  [recHeaderLen]byte
+
+	notify     chan struct{}
+	compactReq chan chan struct{}
+	quit       chan struct{}
+	writerDone chan struct{}
+	auditDone  chan struct{}
+	closeOnce  sync.Once
+	started    bool
+
+	// Writer-goroutine-owned file state.
+	f       *os.File
+	seq     uint64
+	segSize int64
+	drain   []byte
+	nextSeq uint64
+
+	// Sealed-segment registry, shared between writer (rotate/compact)
+	// and the audit pass.
+	segMu  sync.Mutex
+	sealed []segment
+
+	// Compaction source: the store whose live set is authoritative, and
+	// a dedicated session parked in idle state except during dumps.
+	src     *kv.ShardedStore
+	srcSess kv.Session
+
+	needCompact atomic.Bool
+	lastCompact atomic.Int64 // unixnano of last MaybeCompact trigger
+
+	appendedRecords atomic.Int64
+	appendedBytes   atomic.Int64
+	droppedRecords  atomic.Int64
+	fsyncs          atomic.Int64
+	ioErrors        atomic.Int64
+	rotations       atomic.Int64
+	compactions     atomic.Int64
+	snapshotRecords atomic.Int64
+	snapshotBytes   atomic.Int64
+	activeBytes     atomic.Int64
+	sealedBytes     atomic.Int64
+	auditRuns       atomic.Int64
+	auditRecords    atomic.Int64
+	auditErrors     atomic.Int64
+	fsyncLat        *stats.LatencyRecorder
+
+	replay ReplayStats // set by Replay, before Start
+}
+
+// Open prepares a Log over dir: creates the directory if needed,
+// removes stray temp files from an interrupted compaction, and indexes
+// the existing segments. No goroutines run and no segment is written
+// until Start; call Replay in between to rebuild a store.
+func Open(opt Options) (*Log, error) {
+	l := &Log{
+		opt:        opt.withDefaults(),
+		notify:     make(chan struct{}, 1),
+		compactReq: make(chan chan struct{}, 1),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		auditDone:  make(chan struct{}),
+		fsyncLat:   stats.NewLatencyRecorder(),
+	}
+	l.ring = make([]byte, l.opt.RingBytes)
+	if err := os.MkdirAll(l.opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := os.ReadDir(l.opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		full := filepath.Join(l.opt.Dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// An interrupted compaction's half-written snapshot: the old
+			// segments it would have replaced are all still present.
+			_ = os.Remove(full)
+			continue
+		}
+		seq, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		l.sealed = append(l.sealed, segment{seq: seq, path: full, size: info.Size()})
+	}
+	sort.Slice(l.sealed, func(i, j int) bool { return l.sealed[i].seq < l.sealed[j].seq })
+	l.nextSeq = 1
+	if n := len(l.sealed); n > 0 {
+		l.nextSeq = l.sealed[n-1].seq + 1
+	}
+	l.recountSealed()
+	return l, nil
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("pack-%08d.log", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "pack-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "pack-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func (l *Log) segPath(seq uint64) string { return filepath.Join(l.opt.Dir, segName(seq)) }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.opt.Dir }
+
+// Start opens a fresh active segment after the replayed history and
+// launches the writer and audit goroutines. store (may be nil in
+// low-level tests) becomes the compaction source; its live set is what
+// a compacted log is rewritten to.
+func (l *Log) Start(store *kv.ShardedStore) error {
+	l.src = store
+	if store != nil {
+		l.srcSess = store.NewSession()
+		// Parked idle so a defrag barrier never rendezvouses with a
+		// session that only wakes to dump; compact exits idle around the
+		// dump itself.
+		l.srcSess.EnterIdle()
+	}
+	if err := l.openSegment(); err != nil {
+		return err
+	}
+	l.started = true
+	go l.writerLoop()
+	go l.auditLoop()
+	return nil
+}
+
+// openSegment creates the next active segment with a synced header.
+// Writer-goroutine (or pre-Start) only.
+func (l *Log) openSegment() error {
+	seq := l.nextSeq
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := fileHeader()
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.syncDir()
+	l.nextSeq = seq + 1
+	l.f, l.seq, l.segSize = f, seq, fileHeaderLen
+	l.activeBytes.Store(l.segSize)
+	return nil
+}
+
+// syncDir fsyncs the log directory so renames/creates/removes are durable.
+func (l *Log) syncDir() {
+	d, err := os.Open(l.opt.Dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+func (l *Log) recountSealed() {
+	var n int64
+	for _, sg := range l.sealed {
+		n += sg.size
+	}
+	l.sealedBytes.Store(n)
+}
+
+// Close drains the ring, fsyncs, and stops the goroutines. After a
+// clean Close the log is byte-complete: a restart replays every
+// acknowledged mutation. Safe to call multiple times.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.quit)
+		if l.started {
+			<-l.writerDone
+			<-l.auditDone
+		}
+		if l.srcSess != nil {
+			l.srcSess.ExitIdle()
+			_ = l.srcSess.Close()
+		}
+	})
+	return nil
+}
+
+// ---- producer side (request path; kv.MutationLog implementation) ----
+
+// LogSet implements kv.MutationLog.
+func (l *Log) LogSet(key, value []byte, expireAt, storedAt time.Time) {
+	l.mu.Lock()
+	putU64(l.phead[0:8], uint64(nano(expireAt)))
+	putU64(l.phead[8:16], uint64(storedAt.UnixNano()))
+	putU32(l.phead[16:20], uint32(len(key)))
+	l.enqueueLocked(recSet, l.phead[:20], key, value)
+	over := l.rused > len(l.ring)/2
+	l.mu.Unlock()
+	if over {
+		l.wake()
+	}
+}
+
+// LogDelete implements kv.MutationLog.
+func (l *Log) LogDelete(key []byte) {
+	l.mu.Lock()
+	l.enqueueLocked(recDelete, key, nil, nil)
+	over := l.rused > len(l.ring)/2
+	l.mu.Unlock()
+	if over {
+		l.wake()
+	}
+}
+
+// LogTouch implements kv.MutationLog.
+func (l *Log) LogTouch(key []byte, expireAt time.Time) {
+	l.mu.Lock()
+	putU64(l.phead[0:8], uint64(nano(expireAt)))
+	l.enqueueLocked(recTouch, l.phead[:8], key, nil)
+	over := l.rused > len(l.ring)/2
+	l.mu.Unlock()
+	if over {
+		l.wake()
+	}
+}
+
+// LogFlushAll implements kv.MutationLog.
+func (l *Log) LogFlushAll(at time.Time) {
+	l.mu.Lock()
+	putU64(l.phead[0:8], uint64(nano(at)))
+	l.enqueueLocked(recFlush, l.phead[:8], nil, nil)
+	l.mu.Unlock()
+	l.wake()
+}
+
+// enqueueLocked frames one record directly into the ring. Caller holds
+// l.mu. On overflow the record is dropped, counted, and the log marked
+// for compaction — the request path never blocks on the disk.
+func (l *Log) enqueueLocked(typ byte, a, b, c []byte) {
+	payload := len(a) + len(b) + len(c)
+	total := recHeaderLen + payload
+	if l.rused+total > len(l.ring) || payload > maxPayload {
+		l.droppedRecords.Add(1)
+		l.needCompact.Store(true)
+		return
+	}
+	h := l.fhdr[:]
+	putU16(h[0:2], recMagic)
+	h[2], h[3] = typ, 0
+	putU32(h[4:8], uint32(payload))
+	crc := crc32.Update(0, castagnoli, h[2:8])
+	crc = crc32.Update(crc, castagnoli, a)
+	crc = crc32.Update(crc, castagnoli, b)
+	crc = crc32.Update(crc, castagnoli, c)
+	putU32(h[8:12], crc)
+	l.putLocked(h)
+	l.putLocked(a)
+	l.putLocked(b)
+	l.putLocked(c)
+	l.appendedRecords.Add(1)
+	l.appendedBytes.Add(int64(total))
+}
+
+// putLocked copies b into the ring at the write position, wrapping.
+// Caller holds l.mu and has verified space.
+func (l *Log) putLocked(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	n := copy(l.ring[l.rpos:], b)
+	if n < len(b) {
+		copy(l.ring, b[n:])
+	}
+	l.rpos = (l.rpos + len(b)) % len(l.ring)
+	l.rused += len(b)
+}
+
+func (l *Log) wake() {
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func putU64(b []byte, v uint64) {
+	putU32(b[0:4], uint32(v))
+	putU32(b[4:8], uint32(v>>32))
+}
+
+// ---- writer side ----
+
+func (l *Log) writerLoop() {
+	defer close(l.writerDone)
+	ticker := time.NewTicker(l.opt.FsyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.quit:
+			l.flushBatch()
+			if l.f != nil {
+				_ = l.f.Sync()
+				_ = l.f.Close()
+				l.f = nil
+			}
+			return
+		case <-ticker.C:
+			l.flushBatch()
+		case <-l.notify:
+			l.flushBatch()
+		case ack := <-l.compactReq:
+			l.compact()
+			if ack != nil {
+				close(ack)
+			}
+		}
+		if l.segSize >= l.opt.SegmentBytes {
+			l.rotate()
+		}
+	}
+}
+
+// flushBatch drains the ring into the active segment and fsyncs — one
+// batch, one sync. The copy-out under l.mu is the only moment producers
+// and the writer touch the same bytes.
+func (l *Log) flushBatch() {
+	l.mu.Lock()
+	n := l.rused
+	if n == 0 {
+		l.mu.Unlock()
+		return
+	}
+	if cap(l.drain) < n {
+		l.drain = make([]byte, 0, max(n*2, 1<<20))
+	}
+	l.drain = l.drain[:n]
+	start := l.rpos - l.rused
+	if start < 0 {
+		start += len(l.ring)
+	}
+	m := copy(l.drain, l.ring[start:min(len(l.ring), start+n)])
+	if m < n {
+		copy(l.drain[m:], l.ring[:n-m])
+	}
+	l.rused = 0
+	l.mu.Unlock()
+
+	if l.f == nil {
+		return
+	}
+	if _, err := l.f.Write(l.drain); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: append: %v", err)
+		return
+	}
+	l.segSize += int64(n)
+	l.activeBytes.Store(l.segSize)
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: fsync: %v", err)
+		return
+	}
+	l.fsyncLat.Record(time.Since(t0))
+	l.fsyncs.Add(1)
+}
+
+// rotate seals the active segment and opens the next. Writer only.
+func (l *Log) rotate() {
+	if l.f == nil {
+		return
+	}
+	l.sealActive()
+	l.rotations.Add(1)
+	if err := l.openSegment(); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: rotate: %v", err)
+	}
+}
+
+// sealActive syncs, closes, and registers the active segment as sealed.
+func (l *Log) sealActive() {
+	_ = l.f.Sync()
+	_ = l.f.Close()
+	l.segMu.Lock()
+	l.sealed = append(l.sealed, segment{seq: l.seq, path: l.segPath(l.seq), size: l.segSize})
+	l.segMu.Unlock()
+	l.sealedBytes.Add(l.segSize)
+	l.f = nil
+	l.activeBytes.Store(0)
+}
+
+// ---- compaction trigger ----
+
+// compactCooldown rate-limits ratio-triggered compactions: a snapshot
+// of a large store is real work, and the ratio stays elevated until the
+// snapshot lands.
+const compactCooldown = 5 * time.Second
+
+// MaybeCompact asks the writer to compact when the log has outgrown the
+// live set (or a dropped record / replay corruption left it
+// inconsistent). Called from the server's Maintain loop — cheap enough
+// for every tick; the actual work runs on the writer goroutine.
+func (l *Log) MaybeCompact() {
+	if !l.started || l.src == nil {
+		return
+	}
+	want := l.needCompact.Load()
+	if !want {
+		disk := l.activeBytes.Load() + l.sealedBytes.Load()
+		if disk > l.opt.CompactMinBytes {
+			live := int64(l.src.Snapshot().Bytes)
+			if float64(disk) > l.opt.CompactFactor*float64(live) {
+				want = true
+			}
+		}
+	}
+	if !want {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := l.lastCompact.Load()
+	if now-last < int64(compactCooldown) || !l.lastCompact.CompareAndSwap(last, now) {
+		return
+	}
+	select {
+	case l.compactReq <- nil:
+	default:
+	}
+}
+
+// Compact runs a compaction synchronously (blocks until the writer has
+// finished it). Test and tooling surface; production uses MaybeCompact.
+func (l *Log) Compact() {
+	ack := make(chan struct{})
+	select {
+	case l.compactReq <- ack:
+		select {
+		case <-ack:
+		case <-l.writerDone:
+		}
+	case <-l.quit:
+	}
+}
+
+// ---- stats ----
+
+// ReplayStats describes what a boot-time Replay found.
+type ReplayStats struct {
+	Segments    int   // segment files scanned
+	Records     int64 // valid records applied (or skipped as dead)
+	Bytes       int64 // valid record bytes
+	Sets        int64
+	Deletes     int64
+	Touches     int64
+	Flushes     int64
+	SkippedDead int64 // set records already past deadline/flush epoch
+	// TornRecords counts records cut short by EOF in the final segment
+	// (the torn tail of a hard kill); CrcErrors counts complete frames
+	// that failed CRC or frame validation — corruption, not a tear.
+	TornRecords    int64
+	CrcErrors      int64
+	TruncatedBytes int64 // bytes truncated off the final segment's tail
+	FailedRestores int64 // records that did not re-insert (e.g. over ceiling)
+}
+
+// Stats is a point-in-time counter snapshot for the stats/metrics surfaces.
+type Stats struct {
+	AppendedRecords int64
+	AppendedBytes   int64
+	DroppedRecords  int64
+	Fsyncs          int64
+	IOErrors        int64
+	Rotations       int64
+	Compactions     int64
+	SnapshotRecords int64
+	SnapshotBytes   int64
+	Segments        int
+	DiskBytes       int64
+	AuditRuns       int64
+	AuditRecords    int64
+	AuditErrors     int64
+	Replay          ReplayStats
+}
+
+// Stats returns the current counters.
+func (l *Log) Stats() Stats {
+	l.segMu.Lock()
+	segs := len(l.sealed)
+	l.segMu.Unlock()
+	if l.activeBytes.Load() > 0 {
+		segs++
+	}
+	return Stats{
+		AppendedRecords: l.appendedRecords.Load(),
+		AppendedBytes:   l.appendedBytes.Load(),
+		DroppedRecords:  l.droppedRecords.Load(),
+		Fsyncs:          l.fsyncs.Load(),
+		IOErrors:        l.ioErrors.Load(),
+		Rotations:       l.rotations.Load(),
+		Compactions:     l.compactions.Load(),
+		SnapshotRecords: l.snapshotRecords.Load(),
+		SnapshotBytes:   l.snapshotBytes.Load(),
+		Segments:        segs,
+		DiskBytes:       l.activeBytes.Load() + l.sealedBytes.Load(),
+		AuditRuns:       l.auditRuns.Load(),
+		AuditRecords:    l.auditRecords.Load(),
+		AuditErrors:     l.auditErrors.Load(),
+		Replay:          l.replay,
+	}
+}
+
+// FsyncLatency exposes the fsync-duration recorder for /metrics.
+func (l *Log) FsyncLatency() *stats.LatencyRecorder { return l.fsyncLat }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
