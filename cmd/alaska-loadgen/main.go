@@ -44,10 +44,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"alaska/internal/rlimit"
 	"alaska/internal/server"
 	"alaska/internal/stats"
 	"alaska/internal/ycsb"
 )
+
+// countOpenFDs reports the process's current open-fd count via
+// /proc/self/fd, or -1 where that isn't readable (non-Linux).
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
 
 func parseWorkload(s string) (ycsb.Workload, error) {
 	switch strings.ToLower(strings.TrimPrefix(strings.ToLower(s), "ycsb-")) {
@@ -101,18 +112,63 @@ func main() {
 		log.Fatal("-value-jitter must be in [0,1]")
 	}
 
+	// Large hold populations need the fds to match: lift the soft
+	// NOFILE limit to the hard ceiling before dialing, and fail with a
+	// clear message when even that cannot cover the request (plus the
+	// worker connections and a little slack for stdio/sockets).
+	need := uint64(*hold + *conns + 64)
+	if nofile, err := rlimit.RaiseNOFILE(); err != nil {
+		if uint64(*hold) > 0 && nofile > 0 && need > nofile {
+			log.Fatalf("cannot raise RLIMIT_NOFILE past %d (%v); -hold %d + -connections %d needs ~%d fds — raise the hard limit (ulimit -Hn) and retry",
+				nofile, err, *hold, *conns, need)
+		}
+		log.Printf("warning: could not raise RLIMIT_NOFILE: %v", err)
+	} else if nofile > 0 && need > nofile {
+		log.Fatalf("RLIMIT_NOFILE hard limit is %d but -hold %d + -connections %d needs ~%d fds — raise the hard limit (ulimit -Hn) and retry",
+			nofile, *hold, *conns, need)
+	}
+
+	// Peak open-fd sampler: the proof the hold population was really
+	// open, not queued behind a dial failure.
+	var peakFDs atomic.Int64
+	sampleFDs := func() {
+		if n := int64(countOpenFDs()); n > peakFDs.Load() {
+			peakFDs.Store(n)
+		}
+	}
+	fdSamplerStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-fdSamplerStop:
+				return
+			case <-t.C:
+				sampleFDs()
+			}
+		}
+	}()
+
 	// Idle holds: opened before anything else so they are the connections
 	// occupying the server's -max-conns slots (and, with -idle-timeout,
 	// the ones its reaper kicks). Each blocks in a read until the server
-	// closes it or the run ends.
+	// closes it or the run ends. Dial failures are counted and reported
+	// rather than fatal — a partial hold population is still a valid
+	// (smaller) experiment.
 	var holdKicked atomic.Int64
 	var holdClosing atomic.Bool
 	var holdWG sync.WaitGroup
+	holdFailed := 0
 	holdConns := make([]net.Conn, 0, *hold)
 	for i := 0; i < *hold; i++ {
 		c, err := net.DialTimeout("tcp", *addr, 5*time.Second)
 		if err != nil {
-			log.Fatalf("hold dial: %v", err)
+			holdFailed++
+			if holdFailed == 1 {
+				log.Printf("hold dial: %v (continuing; failures reported in summary)", err)
+			}
+			continue
 		}
 		holdConns = append(holdConns, c)
 		holdWG.Add(1)
@@ -126,6 +182,7 @@ func main() {
 	if *hold > 0 {
 		// Let the holds claim their accept slots before the workers dial.
 		time.Sleep(300 * time.Millisecond)
+		sampleFDs()
 	}
 
 	// Load phase: split the keyspace across connections, pipelined with
@@ -380,7 +437,11 @@ func main() {
 	}
 	wg.Wait()
 
-	// Release the idle holds (any still open were not kicked).
+	// Final fd sample while everything is still open, then stop the
+	// sampler and release the idle holds (any still open were not
+	// kicked).
+	sampleFDs()
+	close(fdSamplerStop)
 	holdClosing.Store(true)
 	for _, c := range holdConns {
 		_ = c.Close()
@@ -431,7 +492,11 @@ func main() {
 			fmt.Printf("reads: hits=%d misses=%d hit_rate=%.4f\n", h, m, float64(h)/float64(h+m))
 		}
 		if *hold > 0 {
-			fmt.Printf("idle holds: %d opened, %d kicked by server\n", *hold, holdKicked.Load())
+			fmt.Printf("idle holds: %d opened, %d failed, %d kicked by server\n",
+				len(holdConns), holdFailed, holdKicked.Load())
+		}
+		if peak := peakFDs.Load(); peak > 0 {
+			fmt.Printf("peak open fds: %d\n", peak)
 		}
 	}
 

@@ -197,10 +197,18 @@ func main() {
 	log.Printf("wrote %s", *out)
 
 	if *maxGetAllocs >= 0 {
+		// The measurement is whole-process Mallocs, and the event-driven
+		// connection core's worker rendezvous consumes runtime-internal
+		// allocations (sudog cache refills after each GC cycle) that are
+		// per-run, not per-op. A real hot-path regression is quantized at
+		// >= 1 alloc/op, so tolerate a small absolute count per run; the
+		// AllocsPerRun unit guards in internal/server pin the engine
+		// itself at exactly 0.
+		noise := 64.0 / float64(*ops)
 		for _, r := range cur.Results {
-			if r.Name == "get_hit" && r.AllocsPerOp > *maxGetAllocs {
-				log.Fatalf("REGRESSION: get_hit allocs/op = %.3f exceeds budget %.3f",
-					r.AllocsPerOp, *maxGetAllocs)
+			if r.Name == "get_hit" && r.AllocsPerOp > *maxGetAllocs+noise {
+				log.Fatalf("REGRESSION: get_hit allocs/op = %.5f exceeds budget %.3f (+%.5f run noise floor)",
+					r.AllocsPerOp, *maxGetAllocs, noise)
 			}
 		}
 	}

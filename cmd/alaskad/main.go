@@ -30,6 +30,7 @@ import (
 	"alaska/internal/anchorage"
 	"alaska/internal/kv"
 	"alaska/internal/logx"
+	"alaska/internal/rlimit"
 	"alaska/internal/rt"
 	"alaska/internal/server"
 	"alaska/internal/wal"
@@ -75,6 +76,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "pack-log directory (required with -persist)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "pack-log batch/fsync window: a hard kill loses at most this much acknowledged traffic")
 	slowOp := flag.Duration("slow-op-threshold", 10*time.Millisecond, "record commands slower than this in the slow-op ring (stats slow, /debug/slowops); negative = disabled")
+	connModel := flag.String("conn-model", "auto", "connection architecture: auto|event|goroutine (auto = epoll readiness poller on Linux, goroutine-per-connection elsewhere)")
+	workers := flag.Int("conn-workers", 0, "event-model worker pool size; 0 = 2 x GOMAXPROCS")
 	verbose := flag.Int("verbose", 0, "log verbosity: 0 errors, 1 lifecycle, 2+ per-connection churn (the wire `verbosity` command changes it at runtime)")
 	noInstr := flag.Bool("disable-instrumentation", false, "turn off per-opcode histograms, byte counters, and the slow-op ring (for A/B measurement; the plane is allocation-free, so leave it on)")
 	flag.Parse()
@@ -184,19 +187,28 @@ func main() {
 		WriteTimeout:           *writeTimeout,
 		MaxReplyBacklog:        int(maxBacklog),
 		SpacePaddedDecr:        *padDecr,
+		ConnModel:              *connModel,
+		Workers:                *workers,
 		SlowOpThreshold:        *slowOp,
 		Logger:                 logger,
 		DisableInstrumentation: *noInstr,
 		WAL:                    wlog,
 	})
+	// A server built to park 100k sockets should not die at a 1024-fd
+	// default soft limit: lift NOFILE to the hard ceiling up front.
+	if nofile, err := rlimit.RaiseNOFILE(); err != nil {
+		logger.Errorf("could not raise RLIMIT_NOFILE (still %d fds): %v", nofile, err)
+	} else if nofile > 0 {
+		logger.Infof("RLIMIT_NOFILE soft limit now %d", nofile)
+	}
 	if err := srv.Listen(); err != nil {
 		fatalf("listen: %v", err)
 	}
 	// The startup line goes to stderr unconditionally (not through the
 	// leveled logger): scripted runs resolve ":0" addresses from it, and
 	// it is the one-line proof the process came up.
-	fmt.Fprintf(os.Stderr, "alaskad: serving memcached protocol on %s (backend=%s shards=%d max-memory=%s)\n",
-		srv.Addr(), backend.Name(), *shards, *maxMemory)
+	fmt.Fprintf(os.Stderr, "alaskad: serving memcached protocol on %s (backend=%s shards=%d max-memory=%s conn-model=%s)\n",
+		srv.Addr(), backend.Name(), *shards, *maxMemory, srv.ConnModel())
 
 	// The admin plane listens on its own socket so operators can firewall
 	// it independently and scrape storms never occupy data-plane

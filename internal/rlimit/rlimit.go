@@ -1,0 +1,6 @@
+// Package rlimit raises the process file-descriptor ceiling so the
+// event-driven connection core (and the load generator's -hold mode)
+// can actually open the hundred-thousand-socket populations they are
+// built for, instead of dying at a distribution's default soft limit
+// of 1024.
+package rlimit

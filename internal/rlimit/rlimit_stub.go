@@ -1,0 +1,10 @@
+//go:build !unix
+
+package rlimit
+
+import "errors"
+
+var errUnsupported = errors.New("rlimit: NOFILE not adjustable on this platform")
+
+// RaiseNOFILE is a no-op where RLIMIT_NOFILE does not exist.
+func RaiseNOFILE() (uint64, error) { return 0, errUnsupported }

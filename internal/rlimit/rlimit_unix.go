@@ -1,0 +1,32 @@
+//go:build unix
+
+package rlimit
+
+import "syscall"
+
+// RaiseNOFILE lifts the soft RLIMIT_NOFILE to the hard limit and
+// returns the resulting soft ceiling. A nil error with an unchanged
+// value means the process was already at its hard limit; callers that
+// need more than the returned count must ask the operator for a higher
+// hard limit (ulimit -Hn / LimitNOFILE=) — nothing an unprivileged
+// process can do will get past it.
+func RaiseNOFILE() (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	if lim.Cur >= lim.Max {
+		return lim.Cur, nil
+	}
+	lim.Cur = lim.Max
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		// Report the still-effective old ceiling alongside the error so
+		// callers can print both.
+		var cur syscall.Rlimit
+		if syscall.Getrlimit(syscall.RLIMIT_NOFILE, &cur) == nil {
+			return cur.Cur, err
+		}
+		return 0, err
+	}
+	return lim.Cur, nil
+}

@@ -1,0 +1,559 @@
+package server
+
+// Event-driven connection core: the protocol engine over in-memory
+// buffers, shared by every platform. A parked connection is nothing but
+// a registered fd plus the pollConn below (~200 B and usually-nil spill
+// slices — no goroutine stack, no bufio pair, no rt.Thread). When the
+// readiness poller reports the fd, a fixed worker pool runs the same
+// dispatch/command code the goroutine model uses, against a per-worker
+// eventIO whose buffers are grow-only and reused across every
+// connection the worker serves — so the PR 5 zero-alloc contract holds
+// in steady state. The platform-specific half (epoll registration,
+// readiness loop, worker scheduling) lives in poller_linux.go.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// burstCmdBudget bounds commands served in one scheduling quantum: a
+	// connection pipelining an endless stream is requeued behind other
+	// ready connections instead of monopolizing its worker.
+	burstCmdBudget = 128
+	// eventReadChunk is the minimum socket read size per readiness.
+	eventReadChunk = 16 << 10
+	// eventFlushHighWater forces a (non-blocking) writev once this many
+	// reply bytes are pending, so pipelined bursts stream to the kernel
+	// instead of accumulating a whole burst's output in user memory.
+	eventFlushHighWater = 32 << 10
+	// connSpillRetain caps the per-connection spill capacity kept across
+	// parks: a connection that once parked mid-command keeps a small
+	// buffer for next time, but large one-off spills are released so an
+	// idle connection's cost returns to the bare struct.
+	connSpillRetain = 4 << 10
+	// workerBufRetain caps the per-worker working buffers retained
+	// between bursts; a pathological burst (one huge multi-get) doesn't
+	// pin its peak memory on the worker forever.
+	workerBufRetain = 1 << 20
+)
+
+// scheduling states of pollConn.sched. The token protocol: exactly one
+// thread "owns" a connection (may touch its fd or spill buffers) at a
+// time — the worker serving it, the registering accept loop, or a
+// sweeper that won the CAS from schedParked. Epoll readiness and kill
+// requests never touch the fd themselves; they hand the connection to
+// an owner via wake().
+const (
+	schedParked    = 0 // owned by nobody; fd armed in epoll
+	schedScheduled = 1 // owned: queued or being served
+	schedRewake    = 2 // owned, and readiness arrived meanwhile
+)
+
+// pollConn is the entire per-connection state of a parked connection.
+type pollConn struct {
+	fd  int
+	id  uint64 // slow-op / debug-log attribution, same space as conn.id
+	gen uint32 // registration generation; stale epoll events are dropped
+	// armed is the epoll interest mask currently registered for fd,
+	// owned (like the spill buffers) by whoever holds the sched token.
+	// With edge-triggered registration the mask only changes when a park
+	// must also watch writability, so comparing against it lets the
+	// common park skip the EPOLL_CTL_MOD syscall entirely.
+	armed uint32
+
+	sched  atomic.Int32
+	killed atomic.Bool
+	slow   atomic.Bool
+	// lastActive is the Config.Clock unixnano of the last completed
+	// command or write progress — the idle reaper's input. Partial
+	// request bytes never touch it (memcached's last_cmd_time rule).
+	lastActive atomic.Int64
+	// writeStall is the Config.Clock unixnano since which reply bytes
+	// have been pending with no write progress (0 = none pending): the
+	// event-mode form of the per-write deadline. The sweep kicks the
+	// connection once now-writeStall exceeds WriteTimeout.
+	writeStall atomic.Int64
+
+	// Spill buffers, owned by whoever holds the sched token. Nil on a
+	// connection idling between commands — only a park mid-command (or
+	// with undrained replies) pays for them.
+	inSpill  []byte
+	outSpill []byte
+
+	// Persistent framing state surviving parks.
+	resync      bool    // dropping input until the next newline
+	discardLeft int     // >0: dropping an oversized value body (incl. CRLF)
+	discardTail [2]byte // rolling last-2-bytes window for the CRLF check
+	discardCmd  cmdCode // opcode to attribute the discard's reply to
+}
+
+// touch stamps activity (completed command / write progress).
+func (pc *pollConn) touch(nowNano int64) { pc.lastActive.Store(nowNano) }
+
+// evStatus is process()'s verdict on why it stopped consuming input.
+type evStatus int
+
+const (
+	evNeedInput    evStatus = iota // buffered input exhausted mid-frame
+	evYield                        // burst budget spent with input remaining
+	evBackpressure                 // reply backlog over cap; wait for writability
+	evQuit                         // client sent quit
+	evFatal                        // I/O or framing failure: drop the connection
+)
+
+// errEventShortBody guards the prescan invariant: dispatch only runs
+// once the full data block is buffered, so the in-buffer body reads can
+// never come up short. Hitting it is a framing bug; the connection is
+// dropped rather than desynced.
+var errEventShortBody = errors.New("server: event engine dispatched with incomplete body")
+
+// eventIO is a worker's reusable protocol engine. Its buffers are
+// grow-only and recycled across every connection the worker serves; a
+// connection's own residue lives in pollConn spill slices only while
+// parked mid-command. It implements the same I/O surface the blocking
+// bufio engine gives connHandler (readBody/discardBody/resyncLine/
+// flush/writeFull/writeString), so dispatch and every do* handler run
+// unchanged.
+type eventIO struct {
+	h  *connHandler
+	pc *pollConn
+
+	in       []byte // unconsumed input is in[rpos:]
+	rpos     int
+	needHint int // bytes still missing for the pending command's body
+
+	spill    []byte // pc.outSpill loaded at begin; [spillOff:] undrained
+	spillOff int
+	out      []byte // replies generated this burst; [outOff:] undrained
+	outOff   int
+}
+
+// begin attaches the engine to a woken connection, loading its spill.
+func (e *eventIO) begin(pc *pollConn) {
+	e.pc = pc
+	if len(pc.inSpill) > 0 {
+		e.in = append(e.in[:0], pc.inSpill...)
+	} else {
+		e.in = e.in[:0]
+	}
+	e.rpos = 0
+	e.needHint = 0
+	e.spill = pc.outSpill
+	e.spillOff = 0
+	e.out = e.out[:0]
+	e.outOff = 0
+}
+
+// park writes unconsumed input and undrained output back to the
+// connection's spill slices and detaches. Empty residue releases the
+// spill entirely (capacity above connSpillRetain is dropped), so an
+// idle parked connection holds no buffer memory at all.
+func (e *eventIO) park() {
+	pc := e.pc
+	left := e.in[e.rpos:]
+	if len(left) == 0 {
+		pc.inSpill = shedSpill(pc.inSpill)
+	} else {
+		pc.inSpill = append(pc.inSpill[:0], left...)
+	}
+	a := e.spill[e.spillOff:]
+	b := e.out[e.outOff:]
+	if len(a) == 0 && len(b) == 0 {
+		pc.outSpill = shedSpill(pc.outSpill)
+	} else {
+		// e.spill aliases pc.outSpill: compact the remainder in place,
+		// then append this burst's residue (append reallocates only on
+		// growth).
+		if e.spillOff > 0 && len(a) > 0 {
+			copy(e.spill, a)
+		}
+		pc.outSpill = append(e.spill[:len(a)], b...)
+	}
+	e.in = trimWorkerBuf(e.in)
+	e.rpos = 0
+	e.out = trimWorkerBuf(e.out)
+	e.outOff = 0
+	e.spill = nil
+	e.spillOff = 0
+	e.pc = nil
+}
+
+func shedSpill(b []byte) []byte {
+	if cap(b) > connSpillRetain {
+		return nil
+	}
+	return b[:0]
+}
+
+func trimWorkerBuf(b []byte) []byte {
+	if cap(b) > workerBufRetain {
+		return nil
+	}
+	return b[:0]
+}
+
+// readBuf compacts consumed input and returns free space (at least
+// eventReadChunk, or whatever the pending command's body still needs)
+// for the next socket read; extend commits n read bytes.
+func (e *eventIO) readBuf() []byte {
+	if e.rpos > 0 {
+		n := copy(e.in, e.in[e.rpos:])
+		e.in = e.in[:n]
+		e.rpos = 0
+	}
+	need := eventReadChunk
+	if e.needHint > need {
+		need = e.needHint
+	}
+	if cap(e.in)-len(e.in) < need {
+		grown := make([]byte, len(e.in), len(e.in)+need)
+		copy(grown, e.in)
+		e.in = grown
+	}
+	return e.in[len(e.in):cap(e.in)]
+}
+
+func (e *eventIO) extend(n int) { e.in = e.in[:len(e.in)+n] }
+
+// pendingOut is the undrained reply byte count (the event-mode reply
+// backlog).
+func (e *eventIO) pendingOut() int {
+	return (len(e.spill) - e.spillOff) + (len(e.out) - e.outOff)
+}
+
+// tryFlush writevs [spill remainder, burst output] to the socket until
+// it would block or everything drained. EAGAIN is not an error — the
+// residue parks with the connection and EPOLLOUT finishes the job.
+// Write progress counts as activity; pending bytes with no progress
+// start the write-stall clock the sweeper enforces WriteTimeout with.
+func (e *eventIO) tryFlush() error {
+	pc := e.pc
+	if pc.fd < 0 {
+		return nil // detached engine (tests): output accumulates in e.out
+	}
+	srv := e.h.srv
+	for {
+		a := e.spill[e.spillOff:]
+		b := e.out[e.outOff:]
+		if len(a)+len(b) == 0 {
+			pc.writeStall.Store(0)
+			return nil
+		}
+		n, again, err := writevRawFd(pc.fd, a, b)
+		if n > 0 {
+			if srv.instr {
+				srv.bytesWritten.Add(int64(n))
+			}
+			if n >= len(a) {
+				e.spillOff = len(e.spill)
+				e.outOff += n - len(a)
+			} else {
+				e.spillOff += n
+			}
+			now := srv.cfg.Clock().UnixNano()
+			pc.touch(now)
+			if e.pendingOut() == 0 {
+				pc.writeStall.Store(0)
+				return nil
+			}
+			pc.writeStall.Store(now) // progress resets the stall deadline
+		}
+		if err != nil {
+			return err
+		}
+		if again {
+			if pc.writeStall.Load() == 0 {
+				pc.writeStall.Store(srv.cfg.Clock().UnixNano())
+			}
+			return nil
+		}
+	}
+}
+
+// errEventBacklog drops a connection whose single command produced more
+// than the whole reply-backlog budget while the socket absorbed none of
+// it — the in-command analogue of the blocking engine's deadline-bounded
+// forced flush. (Between commands the engine parks for EPOLLOUT instead;
+// this fires only when one command alone overruns the entire cap.)
+var errEventBacklog = errors.New("server: reply backlog exceeded mid-command")
+
+func (e *eventIO) maybeFlush() error {
+	if e.pendingOut() < eventFlushHighWater {
+		return nil
+	}
+	if err := e.tryFlush(); err != nil {
+		return err
+	}
+	if cap := e.h.srv.cfg.MaxReplyBacklog; cap > 0 && e.pendingOut() > cap {
+		e.pc.slow.Store(true)
+		return errEventBacklog
+	}
+	return nil
+}
+
+// writeFull/writeString/flush are the event-mode halves of connHandler's
+// I/O methods (connHandler branches here when ev is attached).
+
+func (e *eventIO) writeFull(p []byte) error {
+	e.out = append(e.out, p...)
+	return e.maybeFlush()
+}
+
+func (e *eventIO) writeString(s string) error {
+	e.out = append(e.out, s...)
+	return e.maybeFlush()
+}
+
+func (e *eventIO) flush() error { return e.tryFlush() }
+
+// readBody returns a storage command's data block straight out of the
+// input buffer — the prescan guaranteed it is fully buffered before
+// dispatch ran, so this never blocks and never copies.
+func (e *eventIO) readBody(n int) ([]byte, bool, error) {
+	buf := e.in[e.rpos:]
+	if len(buf) < n+2 {
+		return nil, false, errEventShortBody
+	}
+	data := buf[:n]
+	ok := buf[n] == '\r' && buf[n+1] == '\n'
+	e.rpos += n + 2
+	if !ok {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+// discardBody consumes an already-buffered data block. The oversized
+// path proper never gets here (the prescan intercepts it into the
+// discardLeft framing state before dispatch); a short buffer therefore
+// indicates a framing bug and drops the connection.
+func (e *eventIO) discardBody(n int) (bool, error) {
+	buf := e.in[e.rpos:]
+	if len(buf) < n+2 {
+		return false, errEventShortBody
+	}
+	ok := buf[n] == '\r' && buf[n+1] == '\n'
+	e.rpos += n + 2
+	return ok, nil
+}
+
+// resyncLine flags the framing layer to drop input through the next
+// newline; the discard itself happens incrementally across readiness
+// events, in bounded memory.
+func (e *eventIO) resyncLine() error {
+	e.pc.resync = true
+	return nil
+}
+
+// maybeStorageCmd cheaply gates the storage prescan on the command's
+// first byte (set/add/replace/cas/append/prepend); gets skip it with one
+// compare.
+func maybeStorageCmd(c byte) bool {
+	switch c {
+	case 's', 'a', 'r', 'c', 'p':
+		return true
+	}
+	return false
+}
+
+// prescanStorage tokenizes a candidate storage line and parses its
+// arguments so the framing layer learns the data-block length before
+// dispatch. ok is false for anything dispatch should handle normally
+// (non-storage commands, malformed storage lines — those reply
+// CLIENT_ERROR without a body read, exactly like the blocking engine).
+func prescanStorage(h *connHandler, line []byte) (code cmdCode, sa storageArgsB, ok bool) {
+	f := tokenize(line, h.fields[:0])
+	h.fields = f // keep the grown backing array
+	if len(f) == 0 {
+		return 0, sa, false
+	}
+	withCAS := false
+	switch string(f[0]) {
+	case "set":
+		code = cmdSet
+	case "add":
+		code = cmdAdd
+	case "replace":
+		code = cmdReplace
+	case "cas":
+		code, withCAS = cmdCas, true
+	case "append":
+		code = cmdAppend
+	case "prepend":
+		code = cmdPrepend
+	default:
+		return 0, sa, false
+	}
+	sa, err := parseStorageB(f[1:], withCAS)
+	if err != nil {
+		return 0, sa, false
+	}
+	return code, sa, true
+}
+
+// updateTail slides the rolling 2-byte terminator window over a
+// discarded chunk.
+func updateTail(tail *[2]byte, chunk []byte) {
+	switch n := len(chunk); {
+	case n >= 2:
+		tail[0], tail[1] = chunk[n-2], chunk[n-1]
+	case n == 1:
+		tail[0], tail[1] = tail[1], chunk[0]
+	}
+}
+
+// process consumes buffered input: completes persistent framing states
+// (resync, oversized-body discard), then dispatches every fully
+// buffered command. It only ever dispatches a command whose complete
+// line — and, for storage commands, complete data block — is already in
+// memory, so the shared dispatch code never blocks mid-command and the
+// "resumable state machine" lives entirely in this framing layer.
+func (e *eventIO) process(cmds *int) evStatus {
+	h := e.h
+	srv := h.srv
+	maxLine := srv.cfg.MaxLineLen
+	for {
+		if *cmds >= burstCmdBudget && e.rpos < len(e.in) {
+			return evYield
+		}
+		// Reply-backlog gate at command boundaries: a client that
+		// pipelines retrievals without draining them parks for EPOLLOUT
+		// (and, past WriteTimeout with no progress, is kicked by the
+		// sweep) instead of growing an unbounded queue.
+		if cap := srv.cfg.MaxReplyBacklog; cap > 0 && e.pendingOut() > cap {
+			if err := e.tryFlush(); err != nil {
+				return evFatal
+			}
+			if e.pendingOut() > cap {
+				return evBackpressure
+			}
+		}
+		pc := e.pc
+		if pc.resync {
+			buf := e.in[e.rpos:]
+			i := bytes.IndexByte(buf, '\n')
+			if i < 0 {
+				e.rpos = len(e.in)
+				return evNeedInput
+			}
+			e.rpos += i + 1
+			pc.resync = false
+			continue
+		}
+		if pc.discardLeft > 0 {
+			buf := e.in[e.rpos:]
+			n := len(buf)
+			if n > pc.discardLeft {
+				n = pc.discardLeft
+			}
+			updateTail(&pc.discardTail, buf[:n])
+			e.rpos += n
+			pc.discardLeft -= n
+			if pc.discardLeft > 0 {
+				return evNeedInput
+			}
+			// Discard complete: same replies and accounting as the
+			// blocking oversized path (replyError even under noreply).
+			resp := respTooLarge
+			if pc.discardTail != [2]byte{'\r', '\n'} {
+				resp = respBadChunk
+			}
+			if h.replyError(resp) != nil {
+				return evFatal
+			}
+			h.lastCmd = pc.discardCmd
+			srv.recordOp(h, pc.id, 0)
+			pc.touch(srv.cfg.Clock().UnixNano())
+			*cmds++
+			continue
+		}
+		buf := e.in[e.rpos:]
+		if len(buf) == 0 {
+			return evNeedInput
+		}
+		i := bytes.IndexByte(buf, '\n')
+		if i < 0 {
+			if len(buf) > maxLine+1 {
+				if h.replyError(respLineTooLong) != nil {
+					return evFatal
+				}
+				e.rpos = len(e.in)
+				pc.resync = true
+				continue
+			}
+			e.needHint = 0
+			return evNeedInput
+		}
+		if i > maxLine+1 {
+			// The newline is already buffered: report and resume right
+			// after it (the resync is instantaneous).
+			if h.replyError(respLineTooLong) != nil {
+				return evFatal
+			}
+			e.rpos += i + 1
+			continue
+		}
+		line := buf[:i]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > 0 && maybeStorageCmd(line[0]) {
+			if code, sa, isStore := prescanStorage(h, line); isStore {
+				if sa.nbytes > srv.cfg.MaxValueSize {
+					// Oversized value: consume the line now and drop the
+					// body as a framing state — it may dribble in across
+					// many readiness events and must never be buffered.
+					h.noteOp(code, sa.key)
+					e.rpos += i + 1
+					pc.discardLeft = sa.nbytes + 2
+					pc.discardTail = [2]byte{}
+					pc.discardCmd = code
+					continue
+				}
+				if total := i + 1 + sa.nbytes + 2; len(buf) < total {
+					e.needHint = total - len(buf)
+					return evNeedInput
+				}
+			}
+		}
+		e.rpos += i + 1
+		start := time.Now()
+		quit, err := h.dispatch(line)
+		if err != nil {
+			if quit {
+				// unreachable; keep the compiler honest about both returns
+				return evQuit
+			}
+			return evFatal
+		}
+		srv.recordOp(h, pc.id, time.Since(start))
+		pc.touch(srv.cfg.Clock().UnixNano())
+		h.sess.Safepoint()
+		*cmds++
+		if quit {
+			return evQuit
+		}
+	}
+}
+
+// connPoller is what Server sees of the event-driven core; the epoll
+// implementation lives in poller_linux.go, and newPoller on platforms
+// without one reports unsupported (the server then falls back to the
+// goroutine-per-connection model).
+type connPoller interface {
+	start()
+	// register transfers ownership of an accepted connection to the
+	// poller (dup + park). On error the caller still owns c and falls
+	// back to a goroutine handler.
+	register(c net.Conn, id uint64) error
+	sweep()
+	killAll()
+	drained() bool
+	stop()
+	gauges() (parked, active, queued int64)
+	burstCount() int64
+}

@@ -132,6 +132,12 @@ func (s *Server) buildRegistry() *registryState {
 		func() float64 { return float64(s.protocolErrors.Load()) })
 	r.CounterFunc("alaskad_slow_ops_total", "Commands slower than -slow-op-threshold.",
 		func() float64 { return float64(s.slowOpTotal()) })
+	r.GaugeFunc("alaskad_conns_parked", "Connections parked in the readiness poller (event model).",
+		func() float64 { parked, _, _ := s.pollerGauges(); return float64(parked) })
+	r.GaugeFunc("alaskad_conns_active", "Connections queued for or running on a worker (event model).",
+		func() float64 { _, active, _ := s.pollerGauges(); return float64(active) })
+	r.GaugeFunc("alaskad_worker_queue_depth", "Ready connections awaiting a free worker (event model).",
+		func() float64 { _, _, queued := s.pollerGauges(); return float64(queued) })
 
 	// Defragmentation / runtime telemetry (meaningful on the Anchorage
 	// backend; the histograms exist — empty — on every backend so

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,18 @@ type Config struct {
 	// /metrics surface its counters, and Shutdown closes it after the
 	// last connection drains, so a clean stop loses nothing.
 	WAL *wal.Log
+	// ConnModel selects the connection architecture: "auto" (default)
+	// uses the event-driven readiness poller where the platform supports
+	// it (epoll on Linux) and falls back to goroutine-per-connection
+	// elsewhere; "epoll" insists on the poller (still falling back, with
+	// an error logged, if unsupported); "goroutine" forces the classic
+	// model. Under the poller, idle connections are parked as bare fds —
+	// no goroutine stack, no bufio buffers, no rt.Thread — and a fixed
+	// worker pool serves the ready ones, so the defrag barrier only ever
+	// waits on the worker set.
+	ConnModel string
+	// Workers sizes the event-model worker pool. Default GOMAXPROCS×2.
+	Workers int
 	// SpacePaddedDecr enables memcached's classic decr compatibility
 	// behavior: a decrement whose result has fewer digits than the stored
 	// value is right-padded with spaces to the old length (so the item
@@ -135,6 +148,12 @@ func (c *Config) withDefaults() Config {
 	if out.SlowOpThreshold == 0 {
 		out.SlowOpThreshold = 10 * time.Millisecond
 	}
+	if out.ConnModel == "" {
+		out.ConnModel = "auto"
+	}
+	if out.Workers <= 0 {
+		out.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
 	return out
 }
 
@@ -167,6 +186,12 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[*conn]struct{}
 	start time.Time
+
+	// poller is the event-driven connection core (nil when the platform
+	// has none or ConnModel forces goroutines). Accepted connections are
+	// registered as parked fds instead of getting a goroutine; a fixed
+	// worker pool serves the ready ones.
+	poller connPoller
 
 	// Counters surfaced by `stats`.
 	currConns      atomic.Int64
@@ -344,7 +369,40 @@ func New(store *kv.ShardedStore, cfg Config) *Server {
 	// One clock for exptime normalization and the store's expiry checks:
 	// a value stored "for 5 seconds" dies exactly when both agree it does.
 	store.Clock = s.cfg.Clock
+	switch s.cfg.ConnModel {
+	case "goroutine":
+	case "auto", "epoll", "event":
+		p, err := newPoller(s)
+		if err != nil {
+			if s.cfg.ConnModel != "auto" {
+				s.cfg.Logger.Errorf("conn model %q unavailable (%v); falling back to goroutine-per-connection", s.cfg.ConnModel, err)
+			}
+		} else {
+			s.poller = p
+		}
+	default:
+		s.cfg.Logger.Errorf("unknown ConnModel %q; using goroutine-per-connection", s.cfg.ConnModel)
+	}
 	return s
+}
+
+// ConnModel reports the connection architecture actually in effect.
+func (s *Server) ConnModel() string {
+	if s.poller != nil {
+		return "event"
+	}
+	return "goroutine"
+}
+
+// pollerGauges reports the event core's instantaneous population:
+// parked fds, connections on a worker (queued-or-running), and the
+// ready-queue depth. All zero under the goroutine model, where every
+// connection is "active" by construction.
+func (s *Server) pollerGauges() (parked, active, queued int64) {
+	if s.poller == nil {
+		return 0, 0, 0
+	}
+	return s.poller.gauges()
 }
 
 // Listen binds the configured address. Addr() reports the bound address
@@ -376,6 +434,9 @@ func (s *Server) Addr() string {
 func (s *Server) Serve() error {
 	s.wg.Add(1)
 	go s.maintainLoop()
+	if s.poller != nil {
+		s.poller.start()
+	}
 	backoff := acceptBackoffMin
 	for {
 		waited, ok := s.acquireConnSlot()
@@ -421,22 +482,35 @@ func (s *Server) Serve() error {
 		if deferred {
 			s.listenDisabled.Add(1)
 		}
+		id := s.connIDs.Add(1)
+		s.cfg.Logger.Debugf("conn %d: accepted %s", id, c.RemoteAddr())
+		s.totalConns.Add(1)
+		s.currConns.Add(1)
+		if s.poller != nil {
+			// Event model: the connection becomes a parked fd in the
+			// poller — no goroutine, no session, no buffers until it
+			// turns readable. On registration failure (non-syscall conn,
+			// fd-table pressure) the original connection is untouched and
+			// serves through the goroutine path below.
+			if err := s.poller.register(c, id); err == nil {
+				continue
+			} else {
+				s.cfg.Logger.Debugf("conn %d: poller register failed (%v); using goroutine handler", id, err)
+			}
+		}
 		wc := &conn{
 			Conn:         c,
 			writeTimeout: s.cfg.WriteTimeout,
 			clock:        s.cfg.Clock,
-			id:           s.connIDs.Add(1),
+			id:           id,
 		}
 		if s.instr {
 			wc.nr, wc.nw = &s.bytesRead, &s.bytesWritten
 		}
 		wc.touch(s.cfg.Clock())
-		s.cfg.Logger.Debugf("conn %d: accepted %s", wc.id, c.RemoteAddr())
 		s.mu.Lock()
 		s.conns[wc] = struct{}{}
 		s.mu.Unlock()
-		s.totalConns.Add(1)
-		s.currConns.Add(1)
 		s.connW.Add(1)
 		go s.handleConn(wc)
 	}
@@ -511,6 +585,14 @@ func (s *Server) Shutdown(drain time.Duration) error {
 		done := make(chan struct{})
 		go func() {
 			s.connW.Wait()
+			// Poller-owned connections count too: wait for clients to
+			// disconnect voluntarily during the drain window (killAll
+			// below unblocks this after the deadline).
+			if s.poller != nil {
+				for !s.poller.drained() {
+					time.Sleep(time.Millisecond)
+				}
+			}
 			close(done)
 		}()
 		select {
@@ -524,7 +606,13 @@ func (s *Server) Shutdown(drain time.Duration) error {
 				_ = c.Close()
 			}
 			s.mu.Unlock()
+			if s.poller != nil {
+				s.poller.killAll()
+			}
 			<-done
+		}
+		if s.poller != nil {
+			s.poller.stop()
 		}
 		s.wg.Wait()
 		// The admin plane stays up while the data plane drains (operators
@@ -602,6 +690,12 @@ func (s *Server) maintainLoop() {
 			}
 			s.sampleGauges()
 			s.reapIdle()
+			// Poller-side hardening rides the same tick: the sweep
+			// enforces IdleTimeout and WriteTimeout over the parked
+			// population with the same clock and counters.
+			if s.poller != nil {
+				s.poller.sweep()
+			}
 		}
 	}
 }
@@ -655,6 +749,13 @@ type connHandler struct {
 	sess kv.Session
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// ev, when non-nil, routes the I/O surface below (readBody,
+	// discardBody, resyncLine, flush, writeFull, writeString) to the
+	// event engine's buffers instead of the blocking bufio pair — the
+	// split that lets dispatch and every do* handler serve both
+	// connection models unchanged. A worker's handler has ev set once at
+	// construction; goroutine handlers leave it nil.
+	ev *eventIO
 	// backlog counts reply bytes accepted into the write path since the
 	// last successful drain — the MaxReplyBacklog budget.
 	backlog int
@@ -844,6 +945,9 @@ func readLineDirect(r *bufio.Reader, max int) ([]byte, error) {
 // hostile client arbitrarily slowly). Used to recover stream framing
 // after an over-length line or a bad data chunk.
 func (h *connHandler) resyncLine() error {
+	if h.ev != nil {
+		return h.ev.resyncLine()
+	}
 	h.sess.EnterIdle()
 	defer h.sess.ExitIdle()
 	for {
@@ -862,6 +966,9 @@ func (h *connHandler) resyncLine() error {
 // session if the bytes aren't buffered yet. It returns the data (valid
 // until the next readBody) and whether the terminator was well-formed.
 func (h *connHandler) readBody(n int) ([]byte, bool, error) {
+	if h.ev != nil {
+		return h.ev.readBody(n)
+	}
 	if cap(h.body) < n+2 {
 		h.body = make([]byte, n+2)
 	}
@@ -887,6 +994,9 @@ func (h *connHandler) readBody(n int) ([]byte, bool, error) {
 // client-controlled and may be huge). Returns whether the terminator was
 // well-formed.
 func (h *connHandler) discardBody(n int) (bool, error) {
+	if h.ev != nil {
+		return h.ev.discardBody(n)
+	}
 	h.sess.EnterIdle()
 	defer h.sess.ExitIdle()
 	if _, err := io.CopyN(io.Discard, h.r, int64(n)); err != nil {
@@ -904,6 +1014,9 @@ func (h *connHandler) discardBody(n int) (bool, error) {
 // full drain resets the reply-backlog budget and counts as activity for
 // the idle reaper.
 func (h *connHandler) flush() error {
+	if h.ev != nil {
+		return h.ev.flush()
+	}
 	if h.w.Buffered() == 0 {
 		h.backlog = 0
 		return nil
@@ -942,6 +1055,9 @@ func (h *connHandler) prepareWrite(n int) (idle bool, err error) {
 // writeFull writes p to the response buffer under the backpressure
 // policy above.
 func (h *connHandler) writeFull(p []byte) error {
+	if h.ev != nil {
+		return h.ev.writeFull(p)
+	}
 	idle, err := h.prepareWrite(len(p))
 	if err != nil {
 		return err
@@ -957,6 +1073,9 @@ func (h *connHandler) writeFull(p []byte) error {
 // writeString is writeFull for string data (response literals), using
 // bufio's WriteString so no []byte conversion is allocated.
 func (h *connHandler) writeString(s string) error {
+	if h.ev != nil {
+		return h.ev.writeString(s)
+	}
 	idle, err := h.prepareWrite(len(s))
 	if err != nil {
 		return err
@@ -1600,6 +1719,7 @@ func (s *Server) StatsSnapshot() []struct{ Name, Value string } {
 func (s *Server) statLines() []statLine {
 	snap := s.store.Snapshot()
 	uptime := time.Since(s.start)
+	parked, active, queued := s.pollerGauges()
 	lines := []statLine{
 		{"version", s.cfg.Version},
 		{"backend", s.store.Backend().Name()},
@@ -1611,6 +1731,10 @@ func (s *Server) statLines() []statLine {
 		{"accept_errors", fmt.Sprintf("%d", s.acceptErrors.Load())},
 		{"idle_kicks", fmt.Sprintf("%d", s.idleKicks.Load())},
 		{"slow_client_kicks", fmt.Sprintf("%d", s.slowKicks.Load())},
+		{"conn_model", s.ConnModel()},
+		{"conns_parked", fmt.Sprintf("%d", parked)},
+		{"conns_active", fmt.Sprintf("%d", active)},
+		{"worker_queue_depth", fmt.Sprintf("%d", queued)},
 		{"cmd_flush", fmt.Sprintf("%d", s.cmdFlush.Load())},
 		{"cmd_get", fmt.Sprintf("%d", snap.Gets)},
 		{"cmd_set", fmt.Sprintf("%d", snap.Sets)},
