@@ -90,6 +90,7 @@ func main() {
 	latencyCSV := flag.String("latency-csv", "", "write a per-second latency-over-time CSV of the measured window to this file")
 	hold := flag.Int("hold", 0, "extra connections opened before the run and held idle (never sending a byte) — exercises -max-conns and -idle-timeout")
 	noLoad := flag.Bool("no-load", false, "skip the preload phase and run against whatever the server already holds — measures a warm server, e.g. right after a -persist restart")
+	clientTimeout := flag.Duration("client-timeout", 0, "per-op deadline on every worker connection, with reconnect-on-error: a worker that hits a transport fault counts the error and keeps driving instead of dying; 0 = off (first error kills the worker)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
 	showStats := flag.Bool("server-stats", true, "fetch and print server stats after the run")
 	csv := flag.Bool("csv", false, "emit a one-line CSV result instead of the report")
@@ -271,6 +272,12 @@ func main() {
 			log.Fatal("-rate too high for -connections")
 		}
 	}
+	// With -client-timeout, workers survive a server fault window: ops
+	// are deadline-bounded, transport errors redial with backoff, and the
+	// worker counts the failure and keeps driving instead of dying — so a
+	// chaos run measures the server through the fault, not the silence
+	// after the first error.
+	resilient := *clientTimeout > 0
 	for c := 0; c < *conns; c++ {
 		recorders[c] = stats.NewLatencyRecorder()
 		wg.Add(1)
@@ -282,6 +289,10 @@ func main() {
 				return
 			}
 			defer cl.Close()
+			if resilient {
+				cl.SetOpTimeout(*clientTimeout)
+				cl.EnableReconnect(5, 50*time.Millisecond, time.Second)
+			}
 			val := make([]byte, *valueSize)
 			rec := recorders[c]
 			rng := rand.New(rand.NewSource(*seed + 1000 + int64(c)))
@@ -349,6 +360,9 @@ func main() {
 					_, _, ok, err := cl.Get(key)
 					if err != nil {
 						errOps.Add(1)
+						if resilient {
+							continue
+						}
 						return
 					}
 					if ok {
@@ -357,6 +371,9 @@ func main() {
 						misses.Add(1)
 						if err := cl.SetEx(key, 0, *ttl, val[:size(*valueSize)]); err != nil {
 							errOps.Add(1)
+							if resilient {
+								continue
+							}
 							return
 						}
 					}
@@ -394,6 +411,9 @@ func main() {
 					}
 					if opErr != nil {
 						errOps.Add(1)
+						if resilient {
+							continue
+						}
 						return
 					}
 					finish(opStart)
@@ -429,6 +449,9 @@ func main() {
 				}
 				if opErr != nil {
 					errOps.Add(1)
+					if resilient {
+						continue
+					}
 					return
 				}
 				finish(opStart)

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"alaska/internal/anchorage"
+	"alaska/internal/fault"
+	"alaska/internal/health"
 	"alaska/internal/kv"
 	"alaska/internal/logx"
 	"alaska/internal/rlimit"
@@ -58,7 +60,7 @@ func parseBytes(s string) (uint64, error) {
 
 func main() {
 	addr := flag.String("addr", ":11211", "TCP listen address")
-	adminAddr := flag.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /debug/pprof, /debug/vars, /debug/slowops; empty = disabled")
+	adminAddr := flag.String("admin-addr", "", "admin HTTP listen address serving /metrics, /healthz, /readyz, /debug/pprof, /debug/vars, /debug/slowops; empty = disabled")
 	backendName := flag.String("backend", "anchorage", "heap backend: malloc|mesh|anchorage")
 	shards := flag.Int("shards", 32, "store shard count")
 	maxMemory := flag.String("max-memory", "0", "total value-memory cap with LRU eviction (bytes, KiB/MiB/GiB suffixes; 0 = unlimited)")
@@ -75,6 +77,7 @@ func main() {
 	persist := flag.Bool("persist", false, "enable the append-only pack log: every mutation is batch-appended to -data-dir and replayed at boot for a warm restart")
 	dataDir := flag.String("data-dir", "", "pack-log directory (required with -persist)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "pack-log batch/fsync window: a hard kill loses at most this much acknowledged traffic")
+	faultScript := flag.String("fault-script", "", "DEV ONLY: inject scripted pack-log I/O faults, e.g. \"sync:after=40:times=6:err=eio\" (requires -persist; see internal/fault)")
 	slowOp := flag.Duration("slow-op-threshold", 10*time.Millisecond, "record commands slower than this in the slow-op ring (stats slow, /debug/slowops); negative = disabled")
 	connModel := flag.String("conn-model", "auto", "connection architecture: auto|event|goroutine (auto = epoll readiness poller on Linux, goroutine-per-connection elsewhere)")
 	workers := flag.Int("conn-workers", 0, "event-model worker pool size; 0 = 2 x GOMAXPROCS")
@@ -117,6 +120,9 @@ func main() {
 	if maxMem > 0 && maxMem < maxVal {
 		fatalf("-max-memory (%s) must be at least -max-value-size (%s): a cache that cannot hold its largest value rejects every store of that size", *maxMemory, *maxValue)
 	}
+	if *faultScript != "" && !*persist {
+		fatalf("-fault-script injects pack-log I/O faults and requires -persist")
+	}
 
 	var backend kv.Backend
 	switch *backendName {
@@ -143,6 +149,11 @@ func main() {
 	// smaller than the shard count).
 	store := kv.NewShardedStore(backend, *shards, maxMem)
 
+	// Readiness: the registry tracks boot (booting → replaying → ok) and
+	// then follows the subsystem checks the server registers (WAL state,
+	// accept-gate saturation). Served as /readyz on the admin plane.
+	healthReg := health.New()
+
 	// Persistence: open the pack log, replay it into the store (warm
 	// restart), then start the writer and attach the mutation hooks —
 	// strictly in that order, so replay itself is never re-logged.
@@ -151,15 +162,25 @@ func main() {
 		if !*persist || *dataDir == "" {
 			fatalf("-persist and -data-dir must be used together")
 		}
-		var err error
-		wlog, err = wal.Open(wal.Options{
+		wopt := wal.Options{
 			Dir:           *dataDir,
 			FsyncInterval: *fsyncInterval,
 			Logger:        logger,
-		})
+		}
+		if *faultScript != "" {
+			rules, err := fault.ParseScript(*faultScript)
+			if err != nil {
+				fatalf("bad -fault-script: %v", err)
+			}
+			wopt.FS = fault.NewScriptFS(nil, rules...)
+			fmt.Fprintf(os.Stderr, "alaskad: WARNING: -fault-script is armed (%s) — pack-log I/O WILL fail on schedule; chaos/dev use only\n", *faultScript)
+		}
+		var err error
+		wlog, err = wal.Open(wopt)
 		if err != nil {
 			fatalf("wal open: %v", err)
 		}
+		healthReg.StartReplay()
 		rsess := store.NewSession()
 		replayStart := time.Now()
 		rs, err := wlog.Replay(store, rsess)
@@ -193,6 +214,7 @@ func main() {
 		Logger:                 logger,
 		DisableInstrumentation: *noInstr,
 		WAL:                    wlog,
+		Health:                 healthReg,
 	})
 	// A server built to park 100k sockets should not die at a 1024-fd
 	// default soft limit: lift NOFILE to the hard ceiling up front.
@@ -218,11 +240,15 @@ func main() {
 		if err != nil {
 			fatalf("admin listen: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "alaskad: admin endpoint on http://%s (/metrics /healthz /debug/pprof /debug/vars /debug/slowops)\n", aln.Addr())
+		fmt.Fprintf(os.Stderr, "alaskad: admin endpoint on http://%s (/metrics /healthz /readyz /debug/pprof /debug/vars /debug/slowops)\n", aln.Addr())
 		// Owned by the server: Shutdown drains in-flight scrapes and
 		// releases the port instead of leaking the listener.
 		srv.AttachAdmin(aln)
 	}
+
+	// Boot is complete: listeners are up and replay (if any) finished.
+	// /readyz now follows the live subsystem checks.
+	healthReg.Ready()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

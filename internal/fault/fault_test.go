@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseScriptGrammar(t *testing.T) {
+	rules, err := ParseScript("sync:after=40:times=6:err=eio, write:sticky:err=enospc,create:once:delay=5ms")
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Op != OpSync || r.After != 40 || r.Times != 6 || !errors.Is(r.Err, syscall.EIO) {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Op != OpWrite || r.Times != 0 || !errors.Is(r.Err, syscall.ENOSPC) {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Op != OpCreate || r.Times != 1 || r.Delay != 5*time.Millisecond {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"chmod",
+		"sync:after=x",
+		"sync:after=-1",
+		"sync:times=nope",
+		"sync:err=efault",
+		"sync:delay=fast",
+		"sync:bogus=1",
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+// newTestFS builds a ScriptFS over the real filesystem in a temp dir and
+// returns a helper that opens a file through it.
+func newTestFS(t *testing.T, rules ...Rule) (*ScriptFS, string) {
+	t.Helper()
+	return NewScriptFS(nil, rules...), t.TempDir()
+}
+
+func TestFailAfterNAndOnce(t *testing.T) {
+	fs, dir := newTestFS(t, Rule{Op: OpSync, After: 2, Times: 1})
+	f, err := fs.Create(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d (pre-arm): %v", i, err)
+		}
+	}
+	err = f.Sync()
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 3 = %v, want EIO", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != OpSync {
+		t.Fatalf("error not an InjectedError for sync: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after one-shot spent: %v", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+}
+
+func TestStickyAndClear(t *testing.T) {
+	fs, dir := newTestFS(t, Rule{Op: OpWrite, Times: 0, Err: syscall.ENOSPC})
+	f, err := fs.Create(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		n, err := f.Write([]byte("hello"))
+		if n != 0 || !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d = (%d, %v), want (0, ENOSPC)", i, n, err)
+		}
+	}
+	fs.Clear()
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "x"))
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("file size = %v/%v; injected writes must write nothing", st, err)
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	fs, dir := newTestFS(t, Rule{Op: OpRemove, Times: 2})
+	path := filepath.Join(dir, "x")
+	for i := 0; i < 2; i++ {
+		if err := fs.Remove(path); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("remove %d = %v, want EIO", i, err)
+		}
+	}
+	if err := fs.Remove(path); err == nil || errors.Is(err, syscall.EIO) {
+		// Budget spent: passes through to the real filesystem, which
+		// reports ENOENT for the never-created file.
+		t.Fatalf("remove 3 = %v, want a real ENOENT", err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	fs, _ := newTestFS(t, Rule{Op: OpRename, Times: 0, Delay: 30 * time.Millisecond})
+	t0 := time.Now()
+	_ = fs.Rename("nope", "nope2") // sticky error after the delay
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("rename returned in %v, want >=30ms injected delay", d)
+	}
+}
+
+func TestOpAnyMatchesEverything(t *testing.T) {
+	fs, dir := newTestFS(t, Rule{Op: OpAny, Times: 0})
+	if _, err := fs.Create(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("create = %v, want EIO", err)
+	}
+	if err := fs.Truncate(filepath.Join(dir, "x"), 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("truncate = %v, want EIO", err)
+	}
+}
+
+func TestPassthroughFS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.Create(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := OS.Truncate(path, 1); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if err := OS.Rename(path, path+"2"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := OS.Remove(path + "2"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}

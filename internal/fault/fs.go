@@ -1,0 +1,57 @@
+// Package fault is alaskad's fault-injection plane: a narrow
+// filesystem interface (FS) covering exactly the file operations the
+// durability layer performs, a passthrough implementation over the real
+// OS, and a scriptable implementation that injects errors and latency
+// at any operation — fail-after-N, ENOSPC vs EIO, one-shot vs sticky.
+//
+// Production code takes an FS and never notices the difference; tests
+// and the `alaskad -fault-script` dev flag swap in a ScriptFS to prove
+// the degradation paths (retry, degraded mode, recovery, compaction
+// heal) against every failure the interface can express — without
+// needing a real dying disk.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable-file surface the WAL uses on an open segment.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the file operations of an append-only log directory.
+// All paths are absolute or process-cwd-relative, exactly as the os
+// package would take them.
+type FS interface {
+	// Create opens path for writing with the given flags (the caller
+	// passes os.O_CREATE|os.O_WRONLY and either O_EXCL or O_TRUNC).
+	Create(path string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+}
+
+// osFS is the passthrough production implementation.
+type osFS struct{}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+func (osFS) Create(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error    { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                { return os.Remove(path) }
+func (osFS) Truncate(path string, size int64) error  { return os.Truncate(path, size) }

@@ -1,0 +1,143 @@
+// Package health is alaskad's readiness registry: a tiny, dependency-
+// free aggregation point that turns per-subsystem checks (WAL state,
+// replay progress, accept-gate saturation) into the one answer a load
+// balancer or orchestrator wants from /readyz — serve this node, or
+// drain it.
+//
+// Liveness and readiness are deliberately different questions:
+// /healthz stays "is the process up" (always ok while serving), while
+// /readyz reports booting|replaying|ok|degraded and answers 503 for
+// every state but ok. A degraded node keeps serving traffic it already
+// has — degradation is a mode to operate through, not a crash — but
+// tells the balancer to prefer healthy peers.
+package health
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Status is one subsystem's (or the whole node's) readiness verdict.
+type Status int32
+
+const (
+	// Booting: the process is initializing; not ready.
+	Booting Status = iota
+	// Replaying: boot-time recovery (WAL replay) is running; not ready.
+	Replaying
+	// OK: serving and fully functional.
+	OK
+	// Degraded: serving, but a subsystem is operating in a reduced mode
+	// (e.g. the WAL stopped persisting); not ready, prefer other nodes.
+	Degraded
+)
+
+// String returns the wire form reported by /readyz.
+func (s Status) String() string {
+	switch s {
+	case Booting:
+		return "booting"
+	case Replaying:
+		return "replaying"
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// Check reports one subsystem's current status plus a human-readable
+// detail line. Checks run on every Report call (a /readyz probe), never
+// on the request path, so they may format strings freely — but they
+// must be safe to call concurrently.
+type Check func() (Status, string)
+
+// Sub is one subsystem's evaluated state within a Report.
+type Sub struct {
+	Name   string `json:"name"`
+	Status Status `json:"-"`
+	State  string `json:"state"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is a point-in-time readiness evaluation.
+type Report struct {
+	Status Status
+	Subs   []Sub
+}
+
+// Ready reports whether the node should receive new traffic.
+func (r Report) Ready() bool { return r.Status == OK }
+
+// Registry aggregates subsystem checks under a boot phase. The phase
+// dominates until Ready() is called (a node mid-replay is not ready no
+// matter what its subsystems say); afterwards the worst subsystem
+// status wins, with Degraded outranking everything.
+type Registry struct {
+	phase atomic.Int32 // Booting → Replaying → OK
+
+	mu   sync.Mutex
+	subs []struct {
+		name  string
+		check Check
+	}
+}
+
+// New returns a registry in the Booting phase.
+func New() *Registry { return &Registry{} }
+
+// NewReady returns a registry already past boot — for servers built
+// without a boot sequence (tests, embedded use).
+func NewReady() *Registry {
+	r := New()
+	r.Ready()
+	return r
+}
+
+// StartReplay marks the boot phase as replaying persisted state.
+func (r *Registry) StartReplay() { r.phase.Store(int32(Replaying)) }
+
+// Ready marks boot complete; readiness now follows the subsystem checks.
+func (r *Registry) Ready() { r.phase.Store(int32(OK)) }
+
+// Phase returns the current boot phase.
+func (r *Registry) Phase() Status { return Status(r.phase.Load()) }
+
+// Register adds a named subsystem check. Typically called once per
+// subsystem at construction; safe concurrently with Report.
+func (r *Registry) Register(name string, check Check) {
+	r.mu.Lock()
+	r.subs = append(r.subs, struct {
+		name  string
+		check Check
+	}{name, check})
+	r.mu.Unlock()
+}
+
+// Report evaluates every check and aggregates. The boot phase caps the
+// overall status below OK until Ready; a Degraded subsystem forces
+// Degraded overall even mid-boot (the probe sees the worst truth).
+func (r *Registry) Report() Report {
+	r.mu.Lock()
+	subs := make([]struct {
+		name  string
+		check Check
+	}, len(r.subs))
+	copy(subs, r.subs)
+	r.mu.Unlock()
+
+	rep := Report{Status: r.Phase(), Subs: make([]Sub, 0, len(subs))}
+	for _, s := range subs {
+		st, detail := s.check()
+		rep.Subs = append(rep.Subs, Sub{Name: s.name, Status: st, State: st.String(), Detail: detail})
+		if st == Degraded {
+			rep.Status = Degraded
+		} else if st != OK && rep.Status == OK {
+			// A not-ready (booting/replaying) subsystem holds the node
+			// below ready, unless something worse already has.
+			rep.Status = st
+		}
+	}
+	return rep
+}

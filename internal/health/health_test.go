@@ -1,0 +1,67 @@
+package health
+
+import "testing"
+
+func TestBootPhases(t *testing.T) {
+	r := New()
+	if rep := r.Report(); rep.Status != Booting || rep.Ready() {
+		t.Fatalf("new registry = %v, want booting/not-ready", rep.Status)
+	}
+	r.StartReplay()
+	if rep := r.Report(); rep.Status != Replaying {
+		t.Fatalf("after StartReplay = %v, want replaying", rep.Status)
+	}
+	r.Ready()
+	if rep := r.Report(); rep.Status != OK || !rep.Ready() {
+		t.Fatalf("after Ready = %v, want ok/ready", rep.Status)
+	}
+}
+
+func TestWorstSubsystemWins(t *testing.T) {
+	r := NewReady()
+	walState := OK
+	r.Register("wal", func() (Status, string) { return walState, "detail" })
+	r.Register("accept-gate", func() (Status, string) { return OK, "" })
+
+	rep := r.Report()
+	if rep.Status != OK || len(rep.Subs) != 2 {
+		t.Fatalf("report = %+v, want ok with 2 subs", rep)
+	}
+	walState = Degraded
+	rep = r.Report()
+	if rep.Status != Degraded || rep.Ready() {
+		t.Fatalf("report = %v, want degraded/not-ready", rep.Status)
+	}
+	if rep.Subs[0].Name != "wal" || rep.Subs[0].State != "degraded" || rep.Subs[0].Detail != "detail" {
+		t.Fatalf("wal sub = %+v", rep.Subs[0])
+	}
+	walState = OK
+	if rep := r.Report(); rep.Status != OK {
+		t.Fatalf("recovered report = %v, want ok", rep.Status)
+	}
+}
+
+func TestDegradedOutranksBootPhase(t *testing.T) {
+	r := New() // still booting
+	r.Register("wal", func() (Status, string) { return Degraded, "" })
+	if rep := r.Report(); rep.Status != Degraded {
+		t.Fatalf("report = %v, want degraded (worse than booting)", rep.Status)
+	}
+}
+
+func TestNotReadySubsystemHoldsBelowOK(t *testing.T) {
+	r := NewReady()
+	r.Register("replay", func() (Status, string) { return Replaying, "" })
+	if rep := r.Report(); rep.Status != Replaying || rep.Ready() {
+		t.Fatalf("report = %v, want replaying", rep.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	want := map[Status]string{Booting: "booting", Replaying: "replaying", OK: "ok", Degraded: "degraded", Status(99): "unknown"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -15,10 +16,18 @@ import (
 // data-plane connection slots. Endpoints:
 //
 //	/metrics        Prometheus text exposition (see MetricsRegistry)
-//	/healthz        liveness probe ("ok")
+//	/healthz        liveness probe ("ok" while the process serves)
+//	/readyz         readiness: booting|replaying|ok|degraded, 503 on
+//	                everything but ok, one detail line per subsystem
 //	/debug/vars     expvar (Go runtime memstats and cmdline)
 //	/debug/pprof/   the standard pprof index, profiles, and traces
 //	/debug/slowops  the slow-op ring as JSON, newest first
+//
+// Liveness and readiness are deliberately split: a degraded node is
+// alive (keep it, it is still serving its connections) but not ready
+// (stop routing new traffic to it) — exactly the distinction
+// orchestrator restart policies and load-balancer health checks need
+// to be told apart.
 func NewAdminHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -28,6 +37,28 @@ func NewAdminHandler(s *Server) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		rep := s.cfg.Health.Report()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !rep.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		var b bytes.Buffer
+		b.WriteString(rep.Status.String())
+		b.WriteByte('\n')
+		for _, sub := range rep.Subs {
+			b.WriteString(sub.Name)
+			b.WriteString(": ")
+			b.WriteString(sub.State)
+			if sub.Detail != "" {
+				b.WriteString(" (")
+				b.WriteString(sub.Detail)
+				b.WriteString(")")
+			}
+			b.WriteByte('\n')
+		}
+		_, _ = w.Write(b.Bytes())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	// net/http/pprof registers on http.DefaultServeMux at init; route the

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -24,9 +26,10 @@ import (
 // a value returned by Get/Gets/Gat/Gats is valid only until the next
 // retrieval on the same Client; callers that keep it must copy.
 type Client struct {
-	c net.Conn
-	r *bufio.Reader
-	w *bufio.Writer
+	c    net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	addr string
 
 	// val receives retrieved value bodies (grow-only scratch).
 	val []byte
@@ -37,7 +40,24 @@ type Client struct {
 	lineBuf []byte
 	// fields holds tokenized response-header slices.
 	fields [][]byte
+
+	// Resilience knobs (see SetOpTimeout / EnableReconnect). opTimeout
+	// deadline-bounds each op; a transport error marks the connection
+	// broken — its protocol position is unknown, so it is torn down —
+	// and, with reconnect enabled, redialed with jittered exponential
+	// backoff. The failing op's error still surfaces (the request cannot
+	// be replayed safely); the NEXT op runs on the fresh connection.
+	opTimeout     time.Duration
+	reconnect     bool
+	reconAttempts int
+	reconMin      time.Duration
+	reconMax      time.Duration
+	broken        bool
 }
+
+// errBroken reports an op issued on a connection that failed earlier
+// and has not been re-established.
+var errBroken = errors.New("client: connection broken")
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
@@ -45,7 +65,101 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: c, r: bufio.NewReaderSize(c, 16<<10), w: bufio.NewWriterSize(c, 16<<10)}, nil
+	return &Client{c: c, r: bufio.NewReaderSize(c, 16<<10), w: bufio.NewWriterSize(c, 16<<10), addr: addr}, nil
+}
+
+// SetOpTimeout bounds every subsequent op with a read+write deadline: a
+// server that accepts the request but never answers fails the op within
+// d instead of hanging the caller forever. 0 disables (the default).
+func (cl *Client) SetOpTimeout(d time.Duration) { cl.opTimeout = d }
+
+// EnableReconnect makes a transport error redial the server: up to
+// attempts tries with exponential backoff from min to max, each sleep
+// jittered ±50% so a fleet of clients does not reconnect in lockstep.
+// The op that hit the error still fails — its request cannot be
+// replayed without risking duplication — but subsequent ops proceed on
+// the fresh connection.
+func (cl *Client) EnableReconnect(attempts int, min, max time.Duration) {
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	cl.reconnect = true
+	cl.reconAttempts = attempts
+	cl.reconMin = min
+	cl.reconMax = max
+}
+
+// fail handles a transport error: the connection's protocol position is
+// unknown (half-written request, unread response), so it is closed and
+// — with reconnect enabled — redialed so the next op finds a fresh
+// connection. Returns err for the caller to surface.
+func (cl *Client) fail(err error) error {
+	_ = cl.c.Close()
+	cl.broken = true
+	if cl.reconnect && cl.redial() == nil {
+		cl.broken = false
+	}
+	return err
+}
+
+// redial re-establishes the connection with jittered exponential
+// backoff, resetting the buffered reader/writer onto the new socket
+// (which discards any half-assembled request — by design: it belonged
+// to the op that already failed).
+func (cl *Client) redial() error {
+	var err error
+	backoff := cl.reconMin
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	attempts := cl.reconAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// ±50% jitter: sleep in [backoff/2, backoff*3/2).
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+			if backoff *= 2; cl.reconMax > 0 && backoff > cl.reconMax {
+				backoff = cl.reconMax
+			}
+		}
+		var c net.Conn
+		if c, err = net.DialTimeout("tcp", cl.addr, 5*time.Second); err == nil {
+			cl.c = c
+			cl.r.Reset(c)
+			cl.w.Reset(c)
+			return nil
+		}
+	}
+	return err
+}
+
+// flush starts an op on the wire: arm the per-op deadline (one deadline
+// at flush time covers the whole op — every op is write-then-read) and
+// drain the request buffer. A broken connection fails the op up front
+// (its request bytes were assembled against the dead socket) but
+// re-attempts the redial so a later op can succeed.
+func (cl *Client) flush() error {
+	if cl.broken {
+		if cl.reconnect && cl.redial() == nil {
+			cl.broken = false
+		}
+		return errBroken
+	}
+	if cl.opTimeout > 0 {
+		_ = cl.c.SetDeadline(time.Now().Add(cl.opTimeout))
+	}
+	if err := cl.w.Flush(); err != nil {
+		return cl.fail(err)
+	}
+	return nil
 }
 
 // Close sends quit and closes the connection.
@@ -69,7 +183,7 @@ func (cl *Client) lineBytes() ([]byte, error) {
 		s = cl.lineBuf
 	}
 	if err != nil {
-		return nil, err
+		return nil, cl.fail(err)
 	}
 	s = s[:len(s)-1] // \n
 	if len(s) > 0 && s[len(s)-1] == '\r' {
@@ -113,7 +227,7 @@ func (cl *Client) store(cmd, key string, flags uint32, exptime int64, value []by
 	_, _ = cl.w.WriteString(crlf)
 	_, _ = cl.w.Write(value)
 	_, _ = cl.w.WriteString(crlf)
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return false, err
 	}
 	resp, err := cl.lineBytes()
@@ -193,7 +307,7 @@ func (cl *Client) Cas(key string, flags uint32, exptime int64, cas uint64, value
 	_, _ = cl.w.WriteString(crlf)
 	_, _ = cl.w.Write(value)
 	_, _ = cl.w.WriteString(crlf)
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return 0, err
 	}
 	resp, err := cl.lineBytes()
@@ -229,7 +343,7 @@ func (cl *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
 	_ = cl.w.WriteByte(' ')
 	cl.writeUint(delta)
 	_, _ = cl.w.WriteString(crlf)
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return 0, false, err
 	}
 	resp, err := cl.lineBytes()
@@ -256,7 +370,7 @@ func (cl *Client) Touch(key string, exptime int64) (bool, error) {
 	_ = cl.w.WriteByte(' ')
 	cl.writeInt(exptime)
 	_, _ = cl.w.WriteString(crlf)
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return false, err
 	}
 	resp, err := cl.lineBytes()
@@ -305,7 +419,7 @@ func (cl *Client) retrieve(cmd, key string, exptime int64, withExp bool) (value 
 	_ = cl.w.WriteByte(' ')
 	_, _ = cl.w.WriteString(key)
 	_, _ = cl.w.WriteString(crlf)
-	if err = cl.w.Flush(); err != nil {
+	if err = cl.flush(); err != nil {
 		return
 	}
 	for {
@@ -337,6 +451,7 @@ func (cl *Client) retrieve(cmd, key string, exptime int64, withExp bool) (value 
 		}
 		buf := cl.val[:n+2]
 		if _, err = io.ReadFull(cl.r, buf); err != nil {
+			err = cl.fail(err)
 			return
 		}
 		value, flags, ok = buf[:n], uint32(f64), true
@@ -348,7 +463,7 @@ func (cl *Client) Delete(key string) (bool, error) {
 	_, _ = cl.w.WriteString("delete ")
 	_, _ = cl.w.WriteString(key)
 	_, _ = cl.w.WriteString(crlf)
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return false, err
 	}
 	resp, err := cl.lineBytes()
@@ -372,7 +487,7 @@ func (cl *Client) FlushAll(delay int64) error {
 	} else {
 		cl.w.WriteString("flush_all\r\n")
 	}
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return err
 	}
 	resp, err := cl.line()
@@ -389,7 +504,7 @@ func (cl *Client) FlushAll(delay int64) error {
 // by alaskad, like most deployments treat it).
 func (cl *Client) Verbosity(level uint64) error {
 	fmt.Fprintf(cl.w, "verbosity %d\r\n", level)
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return err
 	}
 	resp, err := cl.line()
@@ -407,7 +522,7 @@ func (cl *Client) Stats() (map[string]string, error) {
 	if _, err := cl.w.WriteString("stats\r\n"); err != nil {
 		return nil, err
 	}
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return nil, err
 	}
 	out := make(map[string]string)
@@ -432,7 +547,7 @@ func (cl *Client) Version() (string, error) {
 	if _, err := cl.w.WriteString("version\r\n"); err != nil {
 		return "", err
 	}
-	if err := cl.w.Flush(); err != nil {
+	if err := cl.flush(); err != nil {
 		return "", err
 	}
 	resp, err := cl.line()
@@ -447,4 +562,4 @@ func (cl *Client) Version() (string, error) {
 }
 
 // Flush drains any buffered noreply writes to the socket.
-func (cl *Client) Flush() error { return cl.w.Flush() }
+func (cl *Client) Flush() error { return cl.flush() }

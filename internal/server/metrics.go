@@ -200,6 +200,19 @@ func (s *Server) buildRegistry() *registryState {
 			func(ws wal.Stats) int64 { return ws.Replay.CrcErrors })
 		walCtr("alaskad_wal_audit_errors_total", "Invalid records found by the background CRC audit.",
 			func(ws wal.Stats) int64 { return ws.AuditErrors })
+		walCtr("alaskad_wal_dropped_degraded_total", "Records dropped because the log was degraded (disk refusing writes).",
+			func(ws wal.Stats) int64 { return ws.DroppedDegraded })
+		walCtr("alaskad_wal_degraded_entries_total", "Transitions into degraded mode.",
+			func(ws wal.Stats) int64 { return ws.DegradedEntries })
+		walCtr("alaskad_wal_recoveries_total", "Recoveries from degraded back to healthy.",
+			func(ws wal.Stats) int64 { return ws.Recoveries })
+		r.GaugeFunc("alaskad_wal_degraded", "1 while the pack log is degraded (appends not persisted), else 0.",
+			func() float64 {
+				if w.Degraded() {
+					return 1
+				}
+				return 0
+			})
 		r.GaugeFunc("alaskad_wal_disk_bytes", "Total on-disk pack-log bytes (active + sealed segments).",
 			func() float64 { return float64(w.Stats().DiskBytes) })
 		r.GaugeFunc("alaskad_wal_segments", "Pack-log segment files on disk.",

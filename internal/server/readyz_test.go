@@ -1,0 +1,158 @@
+package server
+
+// Readiness-plane tests: /readyz must track the boot sequence
+// (booting → replaying → ok) and flip to 503 degraded — then back —
+// when the WAL loses and regains its disk. /healthz stays a bare
+// liveness "ok" throughout; the split is the contract load balancers
+// rely on.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"alaska/internal/fault"
+	"alaska/internal/health"
+	"alaska/internal/kv"
+	"alaska/internal/wal"
+)
+
+// readyzGet fetches /readyz and returns (status code, body).
+func readyzGet(t *testing.T, adminAddr string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + adminAddr + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+func TestReadyzBootPhases(t *testing.T) {
+	reg := health.New() // Booting
+	store := kv.NewShardedStore(kv.NewMallocBackend(), 4, 0)
+	srv := New(store, Config{Addr: "127.0.0.1:0", Version: "readyz-test", Health: reg})
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve() }()
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("admin listen: %v", err)
+	}
+	srv.AttachAdmin(aln)
+	defer srv.Shutdown(time.Second)
+	addr := aln.Addr().String()
+
+	if code, body := readyzGet(t, addr); code != http.StatusServiceUnavailable || !strings.HasPrefix(body, "booting") {
+		t.Fatalf("booting phase: readyz = %d %q, want 503 booting", code, body)
+	}
+	reg.StartReplay()
+	if code, body := readyzGet(t, addr); code != http.StatusServiceUnavailable || !strings.HasPrefix(body, "replaying") {
+		t.Fatalf("replay phase: readyz = %d %q, want 503 replaying", code, body)
+	}
+	reg.Ready()
+	if code, body := readyzGet(t, addr); code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("ready: readyz = %d %q, want 200 ok", code, body)
+	}
+
+	// Liveness never wavered.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200 regardless of readiness", resp.StatusCode)
+	}
+}
+
+// TestReadyzFlipsDegradedAndBack runs the whole loop an operator would
+// see: scripted sticky fsync failures push the WAL into degraded,
+// /readyz answers 503 with a "wal: degraded" detail line, the fault
+// clears, the recovery probe lands, and /readyz returns to 200 ok.
+func TestReadyzFlipsDegradedAndBack(t *testing.T) {
+	rules, err := fault.ParseScript("sync:after=1:sticky:err=eio")
+	if err != nil {
+		t.Fatalf("parse script: %v", err)
+	}
+	fs := fault.NewScriptFS(nil, rules...)
+	wlog, err := wal.Open(wal.Options{
+		Dir:           t.TempDir(),
+		FsyncInterval: 2 * time.Millisecond,
+		AuditInterval: -1,
+		DegradeAfter:  2,
+		ProbeInterval: 5 * time.Millisecond,
+		FS:            fs,
+	})
+	if err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	store := kv.NewShardedStore(kv.NewMallocBackend(), 4, 0)
+	if err := wlog.Start(store); err != nil {
+		t.Fatalf("wal start: %v", err)
+	}
+	store.SetMutationLog(wlog)
+	srv := New(store, Config{Addr: "127.0.0.1:0", Version: "readyz-test", WAL: wlog})
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve() }()
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("admin listen: %v", err)
+	}
+	srv.AttachAdmin(aln)
+	defer srv.Shutdown(time.Second)
+	addr := aln.Addr().String()
+
+	// Healthy WAL: ready, with a per-subsystem detail line.
+	if code, body := readyzGet(t, addr); code != http.StatusOK || !strings.Contains(body, "wal: ok") {
+		t.Fatalf("healthy: readyz = %d %q, want 200 with wal: ok", code, body)
+	}
+
+	// Drive sets through the data plane until the sticky fsync failures
+	// burn the degradation budget.
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; !wlog.Degraded(); i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("WAL never degraded under sticky fsync faults")
+		}
+		if err := cl.Set(fmt.Sprintf("k%04d", i), 0, []byte("v")); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, body := readyzGet(t, addr)
+	if code != http.StatusServiceUnavailable || !strings.HasPrefix(body, "degraded") || !strings.Contains(body, "wal: degraded") {
+		t.Fatalf("degraded: readyz = %d %q, want 503 degraded with wal detail", code, body)
+	}
+
+	// Disk comes back: the probe opens a fresh segment and readiness
+	// recovers without a restart.
+	fs.Clear()
+	for deadline = time.Now().Add(5 * time.Second); wlog.Degraded(); {
+		if time.Now().After(deadline) {
+			t.Fatal("WAL never recovered after faults cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, body := readyzGet(t, addr); code != http.StatusOK || !strings.Contains(body, "wal: ok") {
+		t.Fatalf("recovered: readyz = %d %q, want 200 with wal: ok", code, body)
+	}
+	ws := wlog.Stats()
+	if ws.DegradedEntries < 1 || ws.Recoveries < 1 {
+		t.Fatalf("stats: degraded_entries=%d recoveries=%d, want ≥1 each", ws.DegradedEntries, ws.Recoveries)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"alaska/internal/health"
 	"alaska/internal/kv"
 	"alaska/internal/logx"
 	"alaska/internal/stats"
@@ -98,6 +99,12 @@ type Config struct {
 	// /metrics surface its counters, and Shutdown closes it after the
 	// last connection drains, so a clean stop loses nothing.
 	WAL *wal.Log
+	// Health is the readiness registry behind the admin /readyz endpoint.
+	// cmd/alaskad passes one that tracked the boot sequence (booting →
+	// replaying → ready); New registers the server's own subsystem checks
+	// (WAL degradation, accept-gate saturation) on it. nil = a registry
+	// that is already past boot, so embedded/test servers report ok.
+	Health *health.Registry
 	// ConnModel selects the connection architecture: "auto" (default)
 	// uses the event-driven readiness poller where the platform supports
 	// it (epoll on Linux) and falls back to goroutine-per-connection
@@ -364,6 +371,28 @@ func New(store *kv.ShardedStore, cfg Config) *Server {
 		// accumulated counter.
 		ab.Runtime.SetBarrierWaitObserver(func(wait time.Duration) {
 			s.safepointLat.Record(wait)
+		})
+	}
+	if s.cfg.Health == nil {
+		s.cfg.Health = health.NewReady()
+	}
+	if w := s.cfg.WAL; w != nil {
+		s.cfg.Health.Register("wal", func() (health.Status, string) {
+			if w.Degraded() {
+				ws := w.Stats()
+				return health.Degraded, fmt.Sprintf("degraded since %s; %d appends dropped",
+					w.DegradedSince().Format(time.RFC3339), ws.DroppedDegraded)
+			}
+			return health.OK, "persisting"
+		})
+	}
+	if s.connSem != nil {
+		s.cfg.Health.Register("accept-gate", func() (health.Status, string) {
+			used, limit := len(s.connSem), cap(s.connSem)
+			if used >= limit {
+				return health.Degraded, fmt.Sprintf("saturated: %d/%d conns; accepts deferred", used, limit)
+			}
+			return health.OK, fmt.Sprintf("%d/%d conns", used, limit)
 		})
 	}
 	// One clock for exptime normalization and the store's expiry checks:
@@ -1799,6 +1828,10 @@ func (s *Server) statLines() []statLine {
 			statLine{"wal_appended_records", fmt.Sprintf("%d", ws.AppendedRecords)},
 			statLine{"wal_appended_bytes", fmt.Sprintf("%d", ws.AppendedBytes)},
 			statLine{"wal_dropped_records", fmt.Sprintf("%d", ws.DroppedRecords)},
+			statLine{"wal_state", ws.State},
+			statLine{"wal_dropped_degraded", fmt.Sprintf("%d", ws.DroppedDegraded)},
+			statLine{"wal_degraded_entries", fmt.Sprintf("%d", ws.DegradedEntries)},
+			statLine{"wal_recoveries", fmt.Sprintf("%d", ws.Recoveries)},
 			statLine{"wal_fsyncs", fmt.Sprintf("%d", ws.Fsyncs)},
 			statLine{"wal_fsync_p99_us", fmt.Sprintf("%.1f", float64(w.FsyncLatency().Percentile(99).Nanoseconds())/1e3)},
 			statLine{"wal_io_errors", fmt.Sprintf("%d", ws.IOErrors)},

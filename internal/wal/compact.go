@@ -26,23 +26,37 @@ import (
 // (before the rename) or the snapshot plus the new tail (after) — both
 // replay to the same store. The half-written .tmp of a crashed
 // compaction is deleted at Open.
+//
+// A degraded or struggling disk skips the attempt: compaction starts by
+// sealing the active segment, and sealing with unflushed pending bytes
+// (or a partially-written frame) would freeze a file the retry path
+// still needs to complete. MaybeCompact re-triggers once the flush path
+// is clean again.
 func (l *Log) compact() {
-	if l.src == nil || l.f == nil {
+	if l.src == nil || l.f == nil || l.degraded() {
 		return
 	}
 	l.needCompact.Store(false)
 	l.flushBatch()
-	l.sealActive()
+	if len(l.pending) > 0 || l.fragRemain > 0 || l.f == nil {
+		l.needCompact.Store(true) // disk is struggling; retry after recovery
+		return
+	}
+	if err := l.sealActive(); err != nil {
+		l.needCompact.Store(true)
+		l.ioFailure(err)
+		return
+	}
 	snapSeq := l.nextSeq
 	l.nextSeq++
 	if err := l.openSegment(); err != nil {
-		l.ioErrors.Add(1)
+		l.ioFailure(err)
 		l.opt.Logger.Errorf("wal: compact: open active: %v", err)
 		return
 	}
 
 	tmpPath := l.segPath(snapSeq) + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	tmp, err := l.fs.Create(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		l.ioErrors.Add(1)
 		l.opt.Logger.Errorf("wal: compact: %v", err)
@@ -64,7 +78,7 @@ func (l *Log) compact() {
 		l.ioErrors.Add(1)
 		l.opt.Logger.Errorf("wal: compact: %v", err)
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		_ = l.fs.Remove(tmpPath)
 	}
 
 	start := time.Now()
@@ -106,10 +120,10 @@ func (l *Log) compact() {
 		fail(err)
 		return
 	}
-	if err := os.Rename(tmpPath, l.segPath(snapSeq)); err != nil {
+	if err := l.fs.Rename(tmpPath, l.segPath(snapSeq)); err != nil {
 		l.ioErrors.Add(1)
 		l.opt.Logger.Errorf("wal: compact: rename: %v", err)
-		_ = os.Remove(tmpPath)
+		_ = l.fs.Remove(tmpPath)
 		return
 	}
 	l.syncDir()
@@ -121,7 +135,7 @@ func (l *Log) compact() {
 	var keptBytes int64
 	for _, sg := range l.sealed {
 		if sg.seq < snapSeq {
-			_ = os.Remove(sg.path)
+			_ = l.fs.Remove(sg.path)
 			continue
 		}
 		kept = append(kept, sg)

@@ -192,10 +192,10 @@ func (l *Log) Replay(store *kv.ShardedStore, sess kv.Session) (ReplayStats, erro
 			// file whose header itself is unreadable is removed outright.
 			rs.TruncatedBytes += size - goodEnd
 			if goodEnd < fileHeaderLen {
-				_ = os.Remove(sg.path)
+				_ = l.fs.Remove(sg.path)
 				l.dropSealed(sg.seq)
 			} else if goodEnd < size {
-				if terr := os.Truncate(sg.path, goodEnd); terr == nil {
+				if terr := l.fs.Truncate(sg.path, goodEnd); terr == nil {
 					l.resizeSealed(sg.seq, goodEnd)
 				}
 			}

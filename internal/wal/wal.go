@@ -29,9 +29,24 @@
 // A background audit pass re-reads sealed segments on a timer and
 // verifies every frame's CRC, so silent corruption is surfaced by a
 // counter long before the next restart trips over it.
+//
+// Disk failure is a mode to operate through, not a log line. All file
+// I/O goes through an injectable fault.FS, and the writer runs a
+// degradation state machine over it: an I/O error RETAINS the drained
+// batch in a pending buffer and retries with capped backoff (ENOSPC
+// additionally schedules a compaction to free space); after
+// DegradeAfter consecutive failures the log transitions
+// healthy → degraded — the bad active segment is abandoned at its last
+// frame-clean offset, producers stop enqueuing (counted as
+// dropped_degraded), and a recovery probe periodically attempts to open
+// a fresh segment. When a probe succeeds the log flips back to healthy,
+// logs the durability-gap epoch, flushes the retained pending bytes,
+// and schedules a compaction so the gap is healed from the store's
+// authoritative live set.
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -41,8 +56,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"alaska/internal/fault"
 	"alaska/internal/kv"
 	"alaska/internal/logx"
 	"alaska/internal/stats"
@@ -72,6 +89,18 @@ type Options struct {
 	// CompactFactor triggers compaction when on-disk bytes exceed this
 	// multiple of the store's live charged bytes. Default 2.0.
 	CompactFactor float64
+	// FS is the filesystem the log performs all file operations through.
+	// Production leaves it nil (the real OS); tests and the alaskad
+	// -fault-script flag install a fault.ScriptFS to exercise the
+	// degradation paths. Default fault.OS.
+	FS fault.FS
+	// DegradeAfter is the sticky-failure budget: this many consecutive
+	// failed flush attempts transition the log healthy → degraded.
+	// Default 4.
+	DegradeAfter int
+	// ProbeInterval is how often a degraded log probes the disk by
+	// attempting to open a fresh segment. Default 1s.
+	ProbeInterval time.Duration
 	// Logger receives lifecycle and error output; nil = silent.
 	Logger *logx.Logger
 }
@@ -96,8 +125,28 @@ func (o *Options) withDefaults() Options {
 	if out.CompactFactor == 0 {
 		out.CompactFactor = 2.0
 	}
+	if out.FS == nil {
+		out.FS = fault.OS
+	}
+	if out.DegradeAfter <= 0 {
+		out.DegradeAfter = 4
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = time.Second
+	}
 	return out
 }
+
+// Log states. Producers check the state with a single atomic load, so
+// the request path stays allocation- and branch-cheap.
+const (
+	stateHealthy int32 = iota
+	stateDegraded
+)
+
+// maxIOBackoff caps the writer's retry backoff so a recovered disk is
+// picked up promptly even after a long failure streak.
+const maxIOBackoff = 2 * time.Second
 
 // segment is one immutable (sealed) log file.
 type segment struct {
@@ -111,6 +160,7 @@ type segment struct {
 // to the ring; one writer goroutine owns all file I/O.
 type Log struct {
 	opt Options
+	fs  fault.FS
 
 	// Ring state, guarded by mu. The staging arrays are fields rather
 	// than stack temporaries so the producer path provably never
@@ -130,12 +180,28 @@ type Log struct {
 	closeOnce  sync.Once
 	started    bool
 
-	// Writer-goroutine-owned file state.
-	f       *os.File
-	seq     uint64
-	segSize int64
-	drain   []byte
-	nextSeq uint64
+	// Writer-goroutine-owned file state. pending holds drained ring
+	// bytes that have not yet landed in the file: it is RETAINED across
+	// write/fsync failures and retried, so an I/O error never discards
+	// acknowledged records. cleanSize is the last frame-boundary offset
+	// known to be entirely in the file; fragRemain counts the tail bytes
+	// of a partially-written frame still waiting at the head of pending.
+	f          fault.File
+	seq        uint64
+	segSize    int64
+	cleanSize  int64
+	fragRemain int
+	pending    []byte
+	needSync   bool
+	nextSeq    uint64
+
+	// Degradation state machine (writer-owned except the atomics).
+	state         atomic.Int32 // stateHealthy | stateDegraded
+	degradedSince atomic.Int64 // unixnano; 0 when healthy
+	failStreak    int
+	backoff       time.Duration
+	nextRetry     time.Time
+	nextProbe     time.Time
 
 	// Sealed-segment registry, shared between writer (rotate/compact)
 	// and the audit pass.
@@ -153,6 +219,9 @@ type Log struct {
 	appendedRecords atomic.Int64
 	appendedBytes   atomic.Int64
 	droppedRecords  atomic.Int64
+	droppedDegraded atomic.Int64
+	degradedEntries atomic.Int64
+	recoveries      atomic.Int64
 	fsyncs          atomic.Int64
 	ioErrors        atomic.Int64
 	rotations       atomic.Int64
@@ -183,6 +252,7 @@ func Open(opt Options) (*Log, error) {
 		auditDone:  make(chan struct{}),
 		fsyncLat:   stats.NewLatencyRecorder(),
 	}
+	l.fs = l.opt.FS
 	l.ring = make([]byte, l.opt.RingBytes)
 	if err := os.MkdirAll(l.opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -197,7 +267,7 @@ func Open(opt Options) (*Log, error) {
 		if strings.HasSuffix(name, ".tmp") {
 			// An interrupted compaction's half-written snapshot: the old
 			// segments it would have replaced are all still present.
-			_ = os.Remove(full)
+			_ = l.fs.Remove(full)
 			continue
 		}
 		seq, ok := parseSegName(name)
@@ -260,25 +330,38 @@ func (l *Log) Start(store *kv.ShardedStore) error {
 }
 
 // openSegment creates the next active segment with a synced header.
-// Writer-goroutine (or pre-Start) only.
+// Writer-goroutine (or pre-Start) only. A failed attempt removes the
+// partial file so the sequence number can be retried; if a previous
+// failure's cleanup was itself faulted away, the stale file is removed
+// and the create retried once rather than hitting EEXIST forever.
 func (l *Log) openSegment() error {
 	seq := l.nextSeq
-	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	path := l.segPath(seq)
+	f, err := l.fs.Create(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil && errors.Is(err, os.ErrExist) {
+		_ = l.fs.Remove(path)
+		f, err = l.fs.Create(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	}
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	hdr := fileHeader()
 	if _, err := f.Write(hdr[:]); err != nil {
 		_ = f.Close()
+		_ = l.fs.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
+		_ = l.fs.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.syncDir()
 	l.nextSeq = seq + 1
 	l.f, l.seq, l.segSize = f, seq, fileHeaderLen
+	l.cleanSize = l.segSize
+	l.fragRemain = 0
+	l.needSync = false
 	l.activeBytes.Store(l.segSize)
 	return nil
 }
@@ -369,8 +452,15 @@ func (l *Log) LogFlushAll(at time.Time) {
 
 // enqueueLocked frames one record directly into the ring. Caller holds
 // l.mu. On overflow the record is dropped, counted, and the log marked
-// for compaction — the request path never blocks on the disk.
+// for compaction — the request path never blocks on the disk. In
+// degraded mode records are dropped up front (and counted separately):
+// the disk is refusing writes, so buffering would only defer the loss
+// past the operator's visibility.
 func (l *Log) enqueueLocked(typ byte, a, b, c []byte) {
+	if l.state.Load() != stateHealthy {
+		l.droppedDegraded.Add(1)
+		return
+	}
 	payload := len(a) + len(b) + len(c)
 	total := recHeaderLen + payload
 	if l.rused+total > len(l.ring) || payload > maxPayload {
@@ -425,6 +515,10 @@ func putU64(b []byte, v uint64) {
 	putU32(b[4:8], uint32(v>>32))
 }
 
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
 // ---- writer side ----
 
 func (l *Log) writerLoop() {
@@ -434,97 +528,316 @@ func (l *Log) writerLoop() {
 	for {
 		select {
 		case <-l.quit:
-			l.flushBatch()
+			if !l.degraded() {
+				l.nextRetry = time.Time{} // final drain is best-effort, no backoff gate
+				l.flushBatch()
+			}
+			if n := len(l.pending); n > 0 {
+				l.opt.Logger.Errorf("wal: closing with %d buffered bytes unpersisted", n)
+			}
 			if l.f != nil {
-				_ = l.f.Sync()
+				if err := l.f.Sync(); err != nil {
+					l.ioErrors.Add(1)
+					l.opt.Logger.Errorf("wal: close sync: %v", err)
+				}
 				_ = l.f.Close()
 				l.f = nil
 			}
 			return
 		case <-ticker.C:
-			l.flushBatch()
+			l.tick()
 		case <-l.notify:
-			l.flushBatch()
+			l.tick()
 		case ack := <-l.compactReq:
 			l.compact()
 			if ack != nil {
 				close(ack)
 			}
 		}
-		if l.segSize >= l.opt.SegmentBytes {
+		if l.f != nil && len(l.pending) == 0 && l.fragRemain == 0 && l.segSize >= l.opt.SegmentBytes {
 			l.rotate()
 		}
 	}
 }
 
-// flushBatch drains the ring into the active segment and fsyncs — one
-// batch, one sync. The copy-out under l.mu is the only moment producers
-// and the writer touch the same bytes.
-func (l *Log) flushBatch() {
+// tick is one writer wakeup: flush when healthy, probe when degraded.
+func (l *Log) tick() {
+	if l.degraded() {
+		l.drainRing() // pre-degradation residue still moves to pending
+		l.maybeProbe(time.Now())
+		return
+	}
+	l.flushBatch()
+}
+
+// drainRing moves ring bytes into the writer's pending buffer. The
+// copy-out under l.mu is the only moment producers and the writer touch
+// the same bytes. pending is soft-capped at one RingBytes: past that
+// the bytes stay in the ring, whose own overflow accounting (drop +
+// compact) then applies.
+func (l *Log) drainRing() {
 	l.mu.Lock()
 	n := l.rused
-	if n == 0 {
+	if n == 0 || len(l.pending) >= l.opt.RingBytes {
 		l.mu.Unlock()
 		return
 	}
-	if cap(l.drain) < n {
-		l.drain = make([]byte, 0, max(n*2, 1<<20))
+	pl := len(l.pending)
+	if cap(l.pending) < pl+n {
+		np := make([]byte, pl, max(2*(pl+n), 1<<20))
+		copy(np, l.pending)
+		l.pending = np
 	}
-	l.drain = l.drain[:n]
+	l.pending = l.pending[:pl+n]
 	start := l.rpos - l.rused
 	if start < 0 {
 		start += len(l.ring)
 	}
-	m := copy(l.drain, l.ring[start:min(len(l.ring), start+n)])
+	m := copy(l.pending[pl:], l.ring[start:min(len(l.ring), start+n)])
 	if m < n {
-		copy(l.drain[m:], l.ring[:n-m])
+		copy(l.pending[pl+m:], l.ring[:n-m])
 	}
 	l.rused = 0
 	l.mu.Unlock()
+}
 
+// retryDue reports whether the failure backoff window has passed.
+func (l *Log) retryDue() bool {
+	return l.nextRetry.IsZero() || !time.Now().Before(l.nextRetry)
+}
+
+// flushBatch drains the ring and writes+fsyncs the pending buffer to
+// the active segment — one batch, one sync. On failure pending is
+// RETAINED and retried after a capped backoff; only bytes actually
+// accepted by the file advance the segment size, and the fsync counter
+// moves only on a successful sync. Repeated failures trip the
+// degradation machine.
+func (l *Log) flushBatch() {
+	l.drainRing()
+	if l.f != nil && len(l.pending) == 0 && !l.needSync {
+		return
+	}
+	if !l.retryDue() {
+		return
+	}
+	if l.f == nil {
+		// A failed rotate left no active segment; reopen rather than
+		// discard — even with an empty ring, so the failure streak keeps
+		// counting toward degradation instead of stalling at one.
+		if err := l.openSegment(); err != nil {
+			l.ioFailure(fmt.Errorf("reopen segment: %w", err))
+			return
+		}
+	}
+	for len(l.pending) > 0 {
+		n, err := l.f.Write(l.pending)
+		if n > 0 {
+			l.consumeWritten(n)
+			l.needSync = true
+		}
+		if err != nil {
+			l.ioFailure(fmt.Errorf("append: %w", err))
+			return
+		}
+	}
+	if l.needSync {
+		t0 := time.Now()
+		if err := l.f.Sync(); err != nil {
+			l.ioFailure(fmt.Errorf("fsync: %w", err))
+			return
+		}
+		l.fsyncLat.Record(time.Since(t0))
+		l.fsyncs.Add(1)
+		l.needSync = false
+	}
+	l.ioSuccess()
+}
+
+// consumeWritten advances pending and the frame-alignment cursors past
+// n bytes the file accepted. A short write can cut a frame; the cut
+// frame's tail stays at the head of pending (a retry into the same file
+// completes it), and cleanSize tracks the last whole-frame offset so an
+// abandoned segment can be truncated to a frame-clean prefix.
+func (l *Log) consumeWritten(n int) {
+	off := 0
+	if l.fragRemain > 0 {
+		k := min(n, l.fragRemain)
+		l.fragRemain -= k
+		l.segSize += int64(k)
+		if l.fragRemain == 0 {
+			l.cleanSize = l.segSize
+		}
+		off = k
+	}
+	if rem := n - off; rem > 0 {
+		b := frameAlignedPrefix(l.pending[off:], rem)
+		l.segSize += int64(rem)
+		l.cleanSize += int64(b)
+		if b < rem {
+			frameLen := recHeaderLen + int(leU32(l.pending[off+b+4:off+b+8]))
+			l.fragRemain = frameLen - (rem - b)
+		}
+	}
+	l.pending = l.pending[:copy(l.pending, l.pending[n:])]
+	l.activeBytes.Store(l.segSize)
+}
+
+// frameAlignedPrefix returns the largest frame-boundary offset <= n in
+// b, which must itself start at a frame boundary.
+func frameAlignedPrefix(b []byte, n int) int {
+	off := 0
+	for off < n {
+		frameLen := recHeaderLen + int(leU32(b[off+4:off+8]))
+		if off+frameLen > n {
+			break
+		}
+		off += frameLen
+	}
+	return off
+}
+
+// ioFailure records one failed flush attempt: count it, back off
+// (capped), flag compaction on ENOSPC so space is reclaimed from the
+// live set, and degrade once the consecutive-failure budget is spent.
+func (l *Log) ioFailure(err error) {
+	l.ioErrors.Add(1)
+	l.failStreak++
+	if errors.Is(err, syscall.ENOSPC) {
+		l.needCompact.Store(true)
+	}
+	if l.backoff == 0 {
+		l.backoff = l.opt.FsyncInterval
+	} else {
+		l.backoff *= 2
+	}
+	if l.backoff > maxIOBackoff {
+		l.backoff = maxIOBackoff
+	}
+	l.nextRetry = time.Now().Add(l.backoff)
+	l.opt.Logger.Errorf("wal: %v (failure %d/%d, retry in %v)", err, l.failStreak, l.opt.DegradeAfter, l.backoff)
+	if l.failStreak >= l.opt.DegradeAfter && !l.degraded() {
+		l.enterDegraded(err)
+	}
+}
+
+// ioSuccess resets the failure machine after a fully-flushed batch.
+func (l *Log) ioSuccess() {
+	l.failStreak = 0
+	l.backoff = 0
+	l.nextRetry = time.Time{}
+}
+
+// enterDegraded flips the log into degraded mode: producers stop
+// enqueuing (dropped_degraded counts what the cache keeps serving but
+// the log no longer covers), the failing active segment is abandoned at
+// its last frame-clean offset, and the recovery probe takes over.
+func (l *Log) enterDegraded(cause error) {
+	l.state.Store(stateDegraded)
+	l.degradedSince.Store(time.Now().UnixNano())
+	l.degradedEntries.Add(1)
+	l.nextProbe = time.Now().Add(l.opt.ProbeInterval)
+	l.abandonActive()
+	l.opt.Logger.Errorf("wal: DEGRADED after %d consecutive I/O failures (%v); new appends are not persisted until recovery", l.failStreak, cause)
+}
+
+// abandonActive gives up on the active segment: best-effort close,
+// truncate to the last frame-clean offset, and register the surviving
+// prefix as sealed so replay and audit still use it. The registered
+// bytes may not all be fsync-durable — the post-recovery compaction
+// rewrites the log from the live store and retires this segment. A
+// partially-written frame loses its head to the truncate, so its tail
+// is dropped from pending and counted.
+func (l *Log) abandonActive() {
 	if l.f == nil {
 		return
 	}
-	if _, err := l.f.Write(l.drain); err != nil {
-		l.ioErrors.Add(1)
-		l.opt.Logger.Errorf("wal: append: %v", err)
-		return
+	_ = l.f.Close()
+	l.f = nil
+	if l.fragRemain > 0 {
+		l.pending = l.pending[:copy(l.pending, l.pending[l.fragRemain:])]
+		l.fragRemain = 0
+		l.droppedRecords.Add(1)
 	}
-	l.segSize += int64(n)
-	l.activeBytes.Store(l.segSize)
-	t0 := time.Now()
-	if err := l.f.Sync(); err != nil {
-		l.ioErrors.Add(1)
-		l.opt.Logger.Errorf("wal: fsync: %v", err)
-		return
+	path := l.segPath(l.seq)
+	if l.cleanSize <= fileHeaderLen {
+		_ = l.fs.Remove(path)
+	} else {
+		if l.cleanSize < l.segSize {
+			_ = l.fs.Truncate(path, l.cleanSize)
+		}
+		l.segMu.Lock()
+		l.sealed = append(l.sealed, segment{seq: l.seq, path: path, size: l.cleanSize})
+		l.segMu.Unlock()
+		l.sealedBytes.Add(l.cleanSize)
 	}
-	l.fsyncLat.Record(time.Since(t0))
-	l.fsyncs.Add(1)
+	l.segSize, l.cleanSize = 0, 0
+	l.activeBytes.Store(0)
 }
 
-// rotate seals the active segment and opens the next. Writer only.
+// maybeProbe attempts recovery from degraded mode: open a fresh
+// segment; if the disk accepts it (create + header write + fsync), flip
+// back to healthy, log the durability gap, flush the retained pending
+// bytes, and schedule a compaction to close the gap from the store's
+// authoritative live set.
+func (l *Log) maybeProbe(now time.Time) {
+	if now.Before(l.nextProbe) {
+		return
+	}
+	l.nextProbe = now.Add(l.opt.ProbeInterval)
+	if err := l.openSegment(); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: recovery probe: %v", err)
+		return
+	}
+	gapStart := time.Unix(0, l.degradedSince.Load())
+	l.state.Store(stateHealthy)
+	l.degradedSince.Store(0)
+	l.recoveries.Add(1)
+	l.ioSuccess()
+	l.needCompact.Store(true)
+	l.opt.Logger.Errorf("wal: recovered to healthy; durability gap %s → %s (%v); compaction scheduled to close it",
+		gapStart.Format(time.RFC3339Nano), now.Format(time.RFC3339Nano), now.Sub(gapStart))
+	l.flushBatch()
+}
+
+// rotate seals the active segment and opens the next. Writer only. A
+// seal or open failure keeps the current state for retry and feeds the
+// failure machine — it never leaves batches silently discarded.
 func (l *Log) rotate() {
 	if l.f == nil {
 		return
 	}
-	l.sealActive()
+	if err := l.sealActive(); err != nil {
+		l.ioFailure(err)
+		return
+	}
 	l.rotations.Add(1)
 	if err := l.openSegment(); err != nil {
-		l.ioErrors.Add(1)
-		l.opt.Logger.Errorf("wal: rotate: %v", err)
+		l.ioFailure(fmt.Errorf("rotate: %w", err))
 	}
 }
 
 // sealActive syncs, closes, and registers the active segment as sealed.
-func (l *Log) sealActive() {
-	_ = l.f.Sync()
-	_ = l.f.Close()
+// A Sync failure is propagated WITHOUT sealing: the segment may hold
+// un-durable bytes, and registering it would hand audit and replay a
+// file known to be suspect — it stays active and the seal is retried. A
+// Close failure after a successful Sync cannot lose data (every byte is
+// already durable), so it is counted and the seal proceeds.
+func (l *Log) sealActive() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("seal sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		l.ioErrors.Add(1)
+		l.opt.Logger.Errorf("wal: seal close: %v", err)
+	}
 	l.segMu.Lock()
 	l.sealed = append(l.sealed, segment{seq: l.seq, path: l.segPath(l.seq), size: l.segSize})
 	l.segMu.Unlock()
 	l.sealedBytes.Add(l.segSize)
 	l.f = nil
 	l.activeBytes.Store(0)
+	return nil
 }
 
 // ---- compaction trigger ----
@@ -580,6 +893,32 @@ func (l *Log) Compact() {
 	}
 }
 
+// ---- state accessors ----
+
+func (l *Log) degraded() bool { return l.state.Load() == stateDegraded }
+
+// Degraded reports whether the log is in degraded mode: the disk is
+// refusing writes and new mutations are not being persisted.
+func (l *Log) Degraded() bool { return l.degraded() }
+
+// StateString returns "healthy" or "degraded" for the stats surface.
+func (l *Log) StateString() string {
+	if l.degraded() {
+		return "degraded"
+	}
+	return "healthy"
+}
+
+// DegradedSince returns when the log entered degraded mode, or the zero
+// time when healthy.
+func (l *Log) DegradedSince() time.Time {
+	n := l.degradedSince.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
 // ---- stats ----
 
 // ReplayStats describes what a boot-time Replay found.
@@ -606,6 +945,9 @@ type Stats struct {
 	AppendedRecords int64
 	AppendedBytes   int64
 	DroppedRecords  int64
+	DroppedDegraded int64
+	DegradedEntries int64
+	Recoveries      int64
 	Fsyncs          int64
 	IOErrors        int64
 	Rotations       int64
@@ -617,6 +959,7 @@ type Stats struct {
 	AuditRuns       int64
 	AuditRecords    int64
 	AuditErrors     int64
+	State           string
 	Replay          ReplayStats
 }
 
@@ -632,6 +975,9 @@ func (l *Log) Stats() Stats {
 		AppendedRecords: l.appendedRecords.Load(),
 		AppendedBytes:   l.appendedBytes.Load(),
 		DroppedRecords:  l.droppedRecords.Load(),
+		DroppedDegraded: l.droppedDegraded.Load(),
+		DegradedEntries: l.degradedEntries.Load(),
+		Recoveries:      l.recoveries.Load(),
 		Fsyncs:          l.fsyncs.Load(),
 		IOErrors:        l.ioErrors.Load(),
 		Rotations:       l.rotations.Load(),
@@ -643,6 +989,7 @@ func (l *Log) Stats() Stats {
 		AuditRuns:       l.auditRuns.Load(),
 		AuditRecords:    l.auditRecords.Load(),
 		AuditErrors:     l.auditErrors.Load(),
+		State:           l.StateString(),
 		Replay:          l.replay,
 	}
 }
